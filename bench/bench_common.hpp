@@ -1,0 +1,90 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flowctl/flowctl.hpp"
+#include "mpi/communicator.hpp"
+#include "mpi/world.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace mvflow::bench {
+
+inline const flowctl::Scheme kSchemes[] = {
+    flowctl::Scheme::hardware, flowctl::Scheme::user_static,
+    flowctl::Scheme::user_dynamic};
+
+inline mpi::WorldConfig base_config(flowctl::Scheme scheme, int prepost,
+                                    int ranks = 2) {
+  mpi::WorldConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.flow.scheme = scheme;
+  cfg.flow.prepost = prepost;
+  return cfg;
+}
+
+struct BwResult {
+  double million_msgs_per_s = 0;
+  double mbytes_per_s = 0;
+  mpi::WorldStats stats;
+};
+
+/// The paper's bandwidth test (§6.2.2): the sender pushes `window`
+/// back-to-back messages, the receiver replies after consuming all of
+/// them; repeated `reps` times. Blocking uses send/recv, non-blocking
+/// isend/irecv + waitall.
+inline BwResult run_bandwidth(flowctl::Scheme scheme, int prepost,
+                              std::size_t msg_bytes, int window, bool blocking,
+                              int reps = 20) {
+  mpi::World world(base_config(scheme, prepost));
+  const auto elapsed = world.run([&](mpi::Communicator& comm) {
+    std::vector<std::byte> payload(msg_bytes == 0 ? 1 : msg_bytes);
+    std::vector<std::byte> ackbuf(1);
+    // One receive buffer reused by every outstanding receive (standard
+    // bandwidth-microbenchmark practice, e.g. OSU bw): the data content is
+    // not inspected, and the pin-down cache sees one stable region.
+    std::vector<std::byte> rxbuf(msg_bytes == 0 ? 1 : msg_bytes);
+    for (int rep = 0; rep < reps; ++rep) {
+      if (comm.rank() == 0) {
+        if (blocking) {
+          for (int i = 0; i < window; ++i)
+            comm.send(std::span<const std::byte>(payload.data(), msg_bytes), 1, 0);
+        } else {
+          std::vector<mpi::RequestPtr> reqs;
+          reqs.reserve(static_cast<std::size_t>(window));
+          for (int i = 0; i < window; ++i)
+            reqs.push_back(comm.isend(
+                std::span<const std::byte>(payload.data(), msg_bytes), 1, 0));
+          comm.wait_all(reqs);
+        }
+        comm.recv(ackbuf, 1, 1);  // receiver's reply
+      } else {
+        if (blocking) {
+          for (int i = 0; i < window; ++i)
+            comm.recv(std::span<std::byte>(rxbuf.data(), msg_bytes), 0, 0);
+        } else {
+          std::vector<mpi::RequestPtr> reqs;
+          reqs.reserve(static_cast<std::size_t>(window));
+          for (int i = 0; i < window; ++i)
+            reqs.push_back(
+                comm.irecv(std::span<std::byte>(rxbuf.data(), msg_bytes), 0, 0));
+          comm.wait_all(reqs);
+        }
+        comm.send(ackbuf, 0, 1);
+      }
+    }
+  });
+
+  BwResult out;
+  const double secs = sim::to_s(elapsed);
+  const double msgs = static_cast<double>(window) * reps;
+  out.million_msgs_per_s = msgs / secs / 1e6;
+  out.mbytes_per_s = msgs * static_cast<double>(msg_bytes) / secs / 1e6;
+  out.stats = world.collect_stats();
+  return out;
+}
+
+}  // namespace mvflow::bench

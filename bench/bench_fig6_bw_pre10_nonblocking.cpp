@@ -1,0 +1,9 @@
+// Figure 6: 4-byte bandwidth, only 10 pre-posted buffers, non-blocking.
+#include "bw_figure.hpp"
+int main() {
+  return mvflow::bench::run_bw_figure(
+      "Figure 6: MPI bandwidth, 4-byte messages, prepost=10, non-blocking", 4,
+      10, false,
+      "same ordering as Figure 5 (dynamic > hardware > static beyond the "
+      "credit limit); user-level schemes do better in the blocking version");
+}

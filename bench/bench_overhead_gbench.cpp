@@ -1,0 +1,99 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the paper's
+// "bookkeeping overhead is negligible" claim (§6.2.1): the host-side cost
+// of the user-level flow-control operations, the tag-matching queues, and
+// the simulator primitives they run on. These measure *real* CPU cost, not
+// simulated time.
+#include <benchmark/benchmark.h>
+
+#include "flowctl/flowctl.hpp"
+#include "mpi/match.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+using namespace mvflow;
+
+static void BM_CreditAcquireRelease(benchmark::State& state) {
+  flowctl::Config cfg;
+  cfg.prepost = 64;
+  flowctl::ConnectionFlow flow(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.try_acquire_credit());
+    flow.add_credits(1);
+  }
+}
+BENCHMARK(BM_CreditAcquireRelease);
+
+static void BM_CreditRepostAndReturn(benchmark::State& state) {
+  flowctl::Config cfg;
+  cfg.prepost = 64;
+  cfg.ecm_threshold = 5;
+  flowctl::ConnectionFlow flow(cfg);
+  for (auto _ : state) {
+    if (flow.on_credited_repost()) benchmark::DoNotOptimize(flow.take_return_credits());
+  }
+}
+BENCHMARK(BM_CreditRepostAndReturn);
+
+static void BM_HardwareSchemeNoOp(benchmark::State& state) {
+  flowctl::Config cfg;
+  cfg.scheme = flowctl::Scheme::hardware;
+  flowctl::ConnectionFlow flow(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.try_acquire_credit());
+    benchmark::DoNotOptimize(flow.on_credited_repost());
+  }
+}
+BENCHMARK(BM_HardwareSchemeNoOp);
+
+static void BM_DynamicGrowthEvent(benchmark::State& state) {
+  flowctl::Config cfg;
+  cfg.scheme = flowctl::Scheme::user_dynamic;
+  cfg.prepost = 1;
+  cfg.max_prepost = 1 << 20;
+  flowctl::ConnectionFlow flow(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.on_backlogged_flag());
+  }
+}
+BENCHMARK(BM_DynamicGrowthEvent);
+
+static void BM_MatchInboundHit(benchmark::State& state) {
+  mpi::MatchQueue q;
+  const auto depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < depth; ++i) {
+      mpi::PostedRecv pr;
+      pr.src = i;
+      pr.tag = i;
+      q.add_posted(std::move(pr));
+    }
+    state.ResumeTiming();
+    // Match the last (worst case scan).
+    benchmark::DoNotOptimize(q.match_inbound(depth - 1, depth - 1));
+    state.PauseTiming();
+    while (q.match_inbound(mpi::kAnySource, mpi::kAnyTag).has_value()) {
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_MatchInboundHit)->Arg(4)->Arg(32)->Arg(256);
+
+static void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i)
+      eng.schedule_at(sim::TimePoint(i), [] {});
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+static void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Xoshiro);
+
+BENCHMARK_MAIN();

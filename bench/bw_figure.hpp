@@ -1,0 +1,37 @@
+// Shared driver for Figures 3-8: the bandwidth window sweep.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mvflow::bench {
+
+/// Print one bandwidth figure: msgs/s (and MB/s for large payloads) for
+/// the three schemes as the window size sweeps past the pre-post depth.
+inline int run_bw_figure(const char* title, std::size_t msg_bytes, int prepost,
+                         bool blocking, const char* expectation) {
+  std::printf("# %s\n", title);
+  std::printf("# msg=%zuB prepost=%d %s\n", msg_bytes, prepost,
+              blocking ? "blocking (MPI_Send/MPI_Recv)"
+                       : "non-blocking (MPI_Isend/MPI_Irecv)");
+  util::Table t({"window", "hardware_Mmsg/s", "static_Mmsg/s", "dynamic_Mmsg/s",
+                 "hardware_MB/s", "static_MB/s", "dynamic_MB/s"});
+  for (int window : {1, 2, 4, 8, 10, 16, 25, 50, 75, 100}) {
+    double mm[3], mb[3];
+    int i = 0;
+    for (auto scheme : kSchemes) {
+      const auto r = run_bandwidth(scheme, prepost, msg_bytes, window, blocking);
+      mm[i] = r.million_msgs_per_s;
+      mb[i] = r.mbytes_per_s;
+      ++i;
+    }
+    t.add(window, mm[0], mm[1], mm[2], mb[0], mb[1], mb[2]);
+  }
+  t.print(std::cout);
+  std::printf("\n# Expectation (paper): %s\n", expectation);
+  return 0;
+}
+
+}  // namespace mvflow::bench

@@ -1,0 +1,167 @@
+// Flow-control schemes for MPI over InfiniBand RC (the paper's §4):
+//
+//   * hardware      — no MPI-level state; the RC end-to-end flow control
+//                     (RNR NAK + timer retry, infinite retries) stalls a
+//                     fast sender.
+//   * user_static   — credit-based: credits start equal to the fixed number
+//                     of pre-posted buffers; exhausted credits push sends
+//                     into a FIFO backlog; credits return by piggybacking on
+//                     every message and by optimistic explicit credit
+//                     messages (ECMs) once a threshold accumulates.
+//   * user_dynamic  — static machinery plus feedback: each message carries
+//                     a went-through-backlog bit, and the receiver grows its
+//                     pre-posted pool (linear by default) when it sees one.
+//
+// ConnectionFlow holds both roles of one connection endpoint: the sender
+// role (credits toward the peer) and the receiver role (buffer pool for the
+// peer). The MPI device layer owns one per peer and consults it on every
+// send and on every reposted buffer; the policy itself lives here so it can
+// be unit- and property-tested in isolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mvflow::flowctl {
+
+enum class Scheme : std::uint8_t { hardware, user_static, user_dynamic };
+
+std::string_view to_string(Scheme s);
+std::optional<Scheme> parse_scheme(std::string_view name);
+
+struct Config {
+  Scheme scheme = Scheme::user_static;
+
+  /// Pre-posted (credited) buffers per connection. For the dynamic scheme
+  /// this is the *starting* pool, which then grows.
+  int prepost = 100;
+
+  /// Suppress explicit credit messages while fewer than this many return
+  /// credits have accumulated (paper §6.3.1 uses 5). To stay deadlock-free
+  /// at tiny pools the effective threshold is min(threshold, pool size).
+  int ecm_threshold = 5;
+
+  /// user_dynamic: buffers added per backlog-feedback event (linear
+  /// increase, the paper's implemented policy). One buffer per event makes
+  /// the pool settle right at the workload's burst depth.
+  int growth_step = 1;
+
+  /// user_dynamic ablation: double the pool instead of linear growth.
+  bool exponential_growth = false;
+
+  /// user_dynamic: growth cap.
+  int max_prepost = 1024;
+
+  /// user_dynamic extension (the paper's stated future work, §4.3): allow
+  /// the pool to shrink back toward `prepost` when the communication
+  /// pattern calms down — useful for long-running multi-phase codes.
+  bool allow_decay = false;
+
+  /// Decay trigger: this many credited messages processed with no backlog
+  /// feedback means the enlarged pool is no longer needed.
+  int decay_idle_msgs = 512;
+};
+
+/// Per-connection counters; aggregated by the benchmarks into the paper's
+/// Table 1 (ECM counts) and Table 2 (max posted buffers).
+struct Counters {
+  std::uint64_t credited_sent = 0;      ///< Eager-data + rendezvous-start.
+  std::uint64_t control_sent = 0;       ///< CTS/FIN (uncredited, optimistic).
+  std::uint64_t ecm_sent = 0;           ///< Explicit credit messages.
+  std::uint64_t backlog_entered = 0;    ///< Sends that hit an empty credit pool.
+  std::uint64_t backlog_dispatched = 0;
+  std::uint64_t optimistic_rts = 0;     ///< Famine RTSes sent without a credit.
+  std::uint64_t credits_received = 0;   ///< Via piggyback + ECM.
+  std::uint64_t growth_events = 0;      ///< Dynamic feedback firings.
+  std::uint64_t decay_events = 0;       ///< Buffers retired by idle decay.
+  int max_posted = 0;                   ///< Peak credited pool (receiver role).
+
+  /// Total MPI-level messages this side originated on the connection.
+  std::uint64_t total_messages() const {
+    return credited_sent + control_sent + ecm_sent;
+  }
+};
+
+class ConnectionFlow {
+ public:
+  explicit ConnectionFlow(const Config& config);
+
+  const Config& config() const noexcept { return config_; }
+  Scheme scheme() const noexcept { return config_.scheme; }
+
+  // ---- sender role: credits toward the peer ----
+
+  /// True when a fresh credited message may be sent right now. The
+  /// hardware scheme always says yes (no MPI-level flow control).
+  bool credit_available() const noexcept;
+
+  /// Acquire a credit for a credited message. Returns false (and counts
+  /// nothing) when none is available — the caller must backlog the send.
+  bool try_acquire_credit();
+
+  /// Credits learned from the peer (piggyback field or ECM payload).
+  void add_credits(int n);
+
+  int credits() const noexcept { return credits_; }
+
+  void note_backlogged() { ++counters_.backlog_entered; }
+  void note_backlog_dispatched() { ++counters_.backlog_dispatched; }
+  void note_optimistic_rts() {
+    ++counters_.optimistic_rts;
+    ++counters_.credited_sent;  // it is still an unexpected-class message
+  }
+  void note_control_sent() { ++counters_.control_sent; }
+  void note_ecm_sent() { ++counters_.ecm_sent; }
+
+  // ---- receiver role: buffer pool for the peer ----
+
+  /// Credited pool size to pre-post at startup.
+  int initial_posted() const noexcept;
+
+  /// The buffer of a *credited* inbound message was processed and
+  /// reposted: one credit is now returnable. Returns true when an ECM
+  /// should be sent immediately (threshold reached and the caller has no
+  /// outgoing traffic to piggyback on).
+  bool on_credited_repost();
+
+  /// Accumulated return credits, handed to an outgoing message's piggyback
+  /// field (or an ECM payload). Resets the accumulator.
+  int take_return_credits();
+
+  int pending_return_credits() const noexcept { return accumulated_; }
+
+  /// Dynamic feedback: an inbound message carried the went-through-backlog
+  /// bit. Returns how many extra buffers the receiver must post now
+  /// (0 for non-dynamic schemes or when the cap is reached). The new
+  /// buffers immediately become returnable credits.
+  int on_backlogged_flag();
+
+  /// Decay (receiver role): called before reposting a credited message's
+  /// buffer. Returns true when the buffer should be *retired* instead of
+  /// reposted — the pool shrinks by one and the credit is never returned,
+  /// so the sender's total shrinks in step.
+  bool take_decay_slot();
+
+  /// Current credited pool size at this receiver.
+  int current_posted() const noexcept { return current_posted_; }
+
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  bool user_level() const noexcept {
+    return config_.scheme != Scheme::hardware;
+  }
+  int effective_ecm_threshold() const noexcept;
+
+  Config config_;
+  int credits_ = 0;         // sender role
+  int accumulated_ = 0;     // receiver role: returnable credits
+  int current_posted_ = 0;  // receiver role: credited pool size
+  int idle_msgs_ = 0;       // credited reposts since the last growth event
+  int pending_decay_ = 0;   // buffers queued for retirement
+  Counters counters_;
+};
+
+}  // namespace mvflow::flowctl

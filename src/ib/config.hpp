@@ -1,0 +1,64 @@
+// Fabric calibration constants.
+//
+// Defaults approximate the paper's testbed: Mellanox InfiniHost 4X HCAs
+// (10 Gb/s signalling, 8 Gb/s data) behind PCI-X 64/133 (the practical
+// bottleneck, ~800 MB/s), one InfiniScale switch hop, 2 KB path MTU.
+// See DESIGN.md §4 for the derivation.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mvflow::ib {
+
+struct FabricConfig {
+  /// Effective per-direction bandwidth in bytes/second (min of 4X link and
+  /// PCI-X DMA).
+  double bandwidth_bps = 800e6;
+
+  /// Propagation delay per hop (node <-> switch cable + PHY).
+  sim::Duration wire_latency = sim::nanoseconds(250);
+
+  /// Switch forwarding latency (InfiniScale class, cut-through ~200 ns;
+  /// we model store-and-forward plus this constant).
+  sim::Duration switch_latency = sim::nanoseconds(200);
+
+  /// Path MTU: maximum payload bytes per packet.
+  std::uint32_t mtu = 2048;
+
+  /// Per-data-packet wire overhead (LRH+BTH+CRCs and friends).
+  std::uint32_t data_header_bytes = 48;
+
+  /// Wire size of ACK / NAK packets.
+  std::uint32_t ack_bytes = 64;
+
+  /// HCA work-request fetch/processing time per message at the sender.
+  sim::Duration tx_wqe_process = sim::nanoseconds(500);
+
+  /// Additional TX engine occupancy per packet (descriptor, DMA setup).
+  sim::Duration per_packet_tx = sim::nanoseconds(150);
+
+  /// Receiver-side processing from last packet to CQE visibility.
+  sim::Duration rx_process = sim::nanoseconds(400);
+
+  /// Receiver-Not-Ready retry timer: how long a requester waits after an
+  /// RNR NAK before replaying the message. IB encodes discrete values from
+  /// 10 us up to 655 ms; MPI implementations pick small ones.
+  sim::Duration rnr_timeout = sim::microseconds(20);
+
+  /// RNR retries before the QP errors out. < 0 means infinite (the paper's
+  /// hardware-based scheme sets "retry count to infinite" for reliability).
+  int rnr_retry_limit = -1;
+
+  /// Strict end-to-end credit pacing at the requester (IBA's optional
+  /// credit mechanism): hold channel sends once unacked sends reach the
+  /// last advertised credit count (+2 staleness allowance). Off by
+  /// default — the paper's testbed demonstrably let senders race ahead
+  /// (its dynamic scheme observed ~63 outstanding messages and its
+  /// hardware scheme suffered RNR timeout storms); enable to study a
+  /// stricter-pacing HCA.
+  bool e2e_credit_pacing = false;
+};
+
+}  // namespace mvflow::ib

@@ -1,0 +1,90 @@
+#include "ib/fabric.hpp"
+
+#include "util/check.hpp"
+
+namespace mvflow::ib {
+
+Fabric::Fabric(sim::Engine& engine, FabricConfig config, int num_nodes)
+    : engine_(engine), config_(config), up_(num_nodes), down_(num_nodes) {
+  util::require(num_nodes > 0, "fabric needs at least one node");
+  util::require(config_.mtu >= 256, "MTU too small");
+  nodes_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Hca>(*this, i));
+  }
+}
+
+Hca& Fabric::hca(int node) {
+  util::require(node >= 0 && node < num_nodes(), "node id out of range");
+  return *nodes_[static_cast<std::size_t>(node)];
+}
+
+void Fabric::connect(QueuePair& a, QueuePair& b) {
+  a.set_remote(b.hca_.node_id(), b.qpn());
+  b.set_remote(a.hca_.node_id(), a.qpn());
+}
+
+void Fabric::connect_loopback(QueuePair& q) {
+  q.set_remote(q.hca_.node_id(), q.qpn());
+}
+
+std::uint32_t Fabric::wire_bytes(const Packet& pkt) const {
+  switch (pkt.kind) {
+    case PacketKind::data:
+    case PacketKind::rdma_read_resp:
+      return pkt.payload_bytes + config_.data_header_bytes;
+    case PacketKind::rdma_read_req:
+      return config_.data_header_bytes + 16;  // reth: addr + rkey + len
+    case PacketKind::ack:
+    case PacketKind::rnr_nak:
+    case PacketKind::access_nak:
+      return config_.ack_bytes;
+  }
+  return config_.ack_bytes;
+}
+
+void Fabric::transmit(int src_node, int dst_node, Packet pkt,
+                      sim::TimePoint earliest) {
+  util::require(dst_node >= 0 && dst_node < num_nodes(),
+                "transmit to unknown node");
+  const std::uint32_t wire = wire_bytes(pkt);
+  const sim::Duration ser =
+      config_.per_packet_tx + sim::transfer_time(wire, config_.bandwidth_bps);
+
+  ++stats_.packets;
+  stats_.wire_bytes += wire;
+  if (pkt.kind == PacketKind::ack || pkt.kind == PacketKind::rnr_nak ||
+      pkt.kind == PacketKind::access_nak) {
+    ++stats_.control_packets;
+  } else {
+    ++stats_.data_packets;
+  }
+
+  sim::TimePoint arrive;
+  if (src_node == dst_node) {
+    // HCA loopback: through the adapter only, no switch hop.
+    const sim::TimePoint start = up_[src_node].reserve(earliest, ser);
+    arrive = start + ser + config_.rx_process;
+  } else {
+    const sim::TimePoint up_start = up_[src_node].reserve(earliest, ser);
+    const sim::TimePoint at_switch = up_start + ser + config_.wire_latency;
+    // Store-and-forward: the switch starts forwarding after the packet is
+    // fully received, plus its forwarding latency, subject to the output
+    // port being free.
+    const sim::TimePoint down_start =
+        down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
+    arrive = down_start + ser + config_.wire_latency + config_.rx_process;
+  }
+
+  engine_.schedule_at(arrive, [this, dst_node, p = std::move(pkt)] {
+    deliver(dst_node, p);
+  });
+}
+
+void Fabric::deliver(int node, const Packet& pkt) {
+  QueuePair* qp = nodes_[static_cast<std::size_t>(node)]->find_qp(pkt.dst_qpn);
+  if (qp != nullptr) qp->rx_packet(pkt);
+  // A destroyed QP silently drops traffic, like a real torn-down connection.
+}
+
+}  // namespace mvflow::ib

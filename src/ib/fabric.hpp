@@ -1,0 +1,72 @@
+// The InfiniBand fabric: N processing nodes, each with an HCA, attached by
+// point-to-point links to one central switch (the paper's testbed topology:
+// 8 nodes on one InfiniScale). Links are FIFO-serialized in each direction
+// and the switch is store-and-forward plus a fixed forwarding delay, so
+// bandwidth contention, head-of-line effects, and NAK/retransmit waste are
+// all visible in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ib/config.hpp"
+#include "ib/hca.hpp"
+#include "ib/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace mvflow::ib {
+
+struct FabricStats {
+  std::uint64_t packets = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t control_packets = 0;  // ACK/NAK
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, FabricConfig config, int num_nodes);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Hca& hca(int node);
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  sim::Engine& engine() noexcept { return engine_; }
+  const FabricConfig& config() const noexcept { return config_; }
+
+  /// Connect two QPs into an RC pair (both transition to ready).
+  static void connect(QueuePair& a, QueuePair& b);
+
+  /// Connect a QP to itself (same-process loopback endpoint).
+  static void connect_loopback(QueuePair& q);
+
+  const FabricStats& stats() const noexcept { return stats_; }
+
+  /// Link utilization of a node's uplink (toward the switch).
+  sim::Duration uplink_busy(int node) const { return up_.at(node).total_busy(); }
+
+  // ---- internal, used by QueuePair ----
+  QpNumber alloc_qpn() { return next_qpn_++; }
+
+  /// Put a packet on the wire from src_node no earlier than `earliest`;
+  /// schedules its delivery at the destination HCA.
+  void transmit(int src_node, int dst_node, Packet pkt, sim::TimePoint earliest);
+
+  /// Wire size of a packet (payload + per-kind overhead).
+  std::uint32_t wire_bytes(const Packet& pkt) const;
+
+ private:
+  void deliver(int node, const Packet& pkt);
+
+  sim::Engine& engine_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Hca>> nodes_;
+  std::vector<sim::Resource> up_;    // node -> switch
+  std::vector<sim::Resource> down_;  // switch -> node
+  QpNumber next_qpn_ = 100;
+  FabricStats stats_;
+};
+
+}  // namespace mvflow::ib

@@ -1,0 +1,42 @@
+#include "ib/hca.hpp"
+
+#include "ib/fabric.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::ib {
+
+Hca::Hca(Fabric& fabric, int node_id) : fabric_(fabric), node_id_(node_id) {}
+
+MemoryRegionHandle Hca::register_memory(std::span<std::byte> region,
+                                        Access access) {
+  return memory_.register_region(region, access);
+}
+
+void Hca::deregister_memory(MemoryRegionHandle handle) {
+  memory_.deregister(handle);
+}
+
+std::shared_ptr<CompletionQueue> Hca::create_cq() {
+  return std::make_shared<CompletionQueue>(fabric_.engine());
+}
+
+std::shared_ptr<QueuePair> Hca::create_qp(
+    std::shared_ptr<CompletionQueue> send_cq,
+    std::shared_ptr<CompletionQueue> recv_cq, QpType type) {
+  const QpNumber qpn = fabric_.alloc_qpn();
+  auto qp = std::make_shared<QueuePair>(*this, qpn, std::move(send_cq),
+                                        std::move(recv_cq), type);
+  qps_.emplace(qpn, qp);
+  return qp;
+}
+
+void Hca::destroy_qp(QpNumber qpn) {
+  util::require(qps_.erase(qpn) == 1, "destroy of unknown QP");
+}
+
+QueuePair* Hca::find_qp(QpNumber qpn) {
+  const auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mvflow::ib

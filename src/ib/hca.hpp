@@ -1,0 +1,52 @@
+// Host Channel Adapter: the per-node verbs entry point. Owns the node's
+// memory registry, completion queues, and queue pairs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+
+#include "ib/cq.hpp"
+#include "ib/memory.hpp"
+#include "ib/qp.hpp"
+#include "ib/types.hpp"
+
+namespace mvflow::ib {
+
+class Fabric;
+
+class Hca {
+ public:
+  Hca(Fabric& fabric, int node_id);
+  Hca(const Hca&) = delete;
+  Hca& operator=(const Hca&) = delete;
+
+  /// Pin and register a buffer; returns its (lkey, rkey).
+  MemoryRegionHandle register_memory(std::span<std::byte> region, Access access);
+  void deregister_memory(MemoryRegionHandle handle);
+
+  std::shared_ptr<CompletionQueue> create_cq();
+
+  /// Create a queue pair bound to the given CQs (they may be the same
+  /// object — the paper's MPI uses one CQ for everything). RC by default;
+  /// pass QpType::ud for a connectionless datagram QP.
+  std::shared_ptr<QueuePair> create_qp(std::shared_ptr<CompletionQueue> send_cq,
+                                       std::shared_ptr<CompletionQueue> recv_cq,
+                                       QpType type = QpType::rc);
+  void destroy_qp(QpNumber qpn);
+
+  QueuePair* find_qp(QpNumber qpn);
+
+  int node_id() const noexcept { return node_id_; }
+  Fabric& fabric() noexcept { return fabric_; }
+  MemoryRegistry& memory() noexcept { return memory_; }
+  const MemoryRegistry& memory() const noexcept { return memory_; }
+
+ private:
+  Fabric& fabric_;
+  int node_id_;
+  MemoryRegistry memory_;
+  std::map<QpNumber, std::shared_ptr<QueuePair>> qps_;
+};
+
+}  // namespace mvflow::ib

@@ -1,0 +1,55 @@
+#include "ib/memory.hpp"
+
+#include "util/check.hpp"
+
+namespace mvflow::ib {
+
+MemoryRegionHandle MemoryRegistry::register_region(std::span<std::byte> region,
+                                                   Access access) {
+  util::require(!region.empty(), "cannot register empty region");
+  RegionInfo info;
+  info.base = region.data();
+  info.length = region.size();
+  info.access = access;
+  info.lkey = next_key_++;
+  info.rkey = next_key_++;
+  by_lkey_.emplace(info.lkey, info);
+  rkey_to_lkey_.emplace(info.rkey, info.lkey);
+  registered_bytes_ += info.length;
+  return MemoryRegionHandle{info.lkey, info.rkey};
+}
+
+void MemoryRegistry::deregister(MemoryRegionHandle handle) {
+  const auto it = by_lkey_.find(handle.lkey);
+  util::require(it != by_lkey_.end(), "deregister of unknown region");
+  registered_bytes_ -= it->second.length;
+  rkey_to_lkey_.erase(it->second.rkey);
+  by_lkey_.erase(it);
+}
+
+bool MemoryRegistry::check_local(const std::byte* addr, std::size_t len,
+                                 std::uint32_t lkey, Access needed) const {
+  const auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) return false;
+  const RegionInfo& r = it->second;
+  if (!has_access(r.access, needed)) return false;
+  if (addr < r.base) return false;
+  return static_cast<std::size_t>(addr - r.base) + len <= r.length;
+}
+
+std::optional<RegionInfo> MemoryRegistry::find_rkey(std::uint32_t rkey) const {
+  const auto it = rkey_to_lkey_.find(rkey);
+  if (it == rkey_to_lkey_.end()) return std::nullopt;
+  return by_lkey_.at(it->second);
+}
+
+bool MemoryRegistry::check_remote(const std::byte* addr, std::size_t len,
+                                  std::uint32_t rkey, Access needed) const {
+  const auto r = find_rkey(rkey);
+  if (!r) return false;
+  if (!has_access(r->access, needed)) return false;
+  if (addr < r->base) return false;
+  return static_cast<std::size_t>(addr - r->base) + len <= r->length;
+}
+
+}  // namespace mvflow::ib

@@ -1,0 +1,524 @@
+#include "ib/qp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ib/cq.hpp"
+#include "ib/fabric.hpp"
+#include "ib/hca.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::ib {
+
+namespace {
+
+/// Number of MTU-sized packets a message of `len` bytes occupies (at least
+/// one even for zero-length messages).
+std::uint32_t packet_count(std::uint32_t len, std::uint32_t mtu) {
+  if (len == 0) return 1;
+  return (len + mtu - 1) / mtu;
+}
+
+}  // namespace
+
+QueuePair::QueuePair(Hca& hca, QpNumber qpn,
+                     std::shared_ptr<CompletionQueue> send_cq,
+                     std::shared_ptr<CompletionQueue> recv_cq, QpType type)
+    : hca_(hca), qpn_(qpn), send_cq_(std::move(send_cq)),
+      recv_cq_(std::move(recv_cq)), type_(type) {
+  util::require(send_cq_ && recv_cq_, "QP needs send and recv CQs");
+  // UD queue pairs are connectionless and usable immediately.
+  if (type_ == QpType::ud) state_ = QpState::ready;
+}
+
+void QueuePair::set_remote(int node, QpNumber qpn) {
+  util::check(state_ == QpState::reset, "QP already connected");
+  remote_node_ = node;
+  remote_qpn_ = qpn;
+  state_ = QpState::ready;
+}
+
+void QueuePair::post_send(const SendWr& wr) {
+  if (type_ == QpType::ud) {
+    post_send_ud(wr);
+    return;
+  }
+  util::require(state_ != QpState::reset, "post_send on unconnected QP");
+  if (state_ == QpState::error) {
+    if (wr.signaled)
+      send_cq_->push(Completion{wr.wr_id, WcStatus::flushed,
+                                WcOpcode::send, 0, qpn_, remote_qpn_});
+    return;
+  }
+
+  // Local protection: the source of send/rdma_write needs local_read; the
+  // destination of an rdma_read needs local_write.
+  const Access needed =
+      wr.opcode == WrOpcode::rdma_read ? Access::local_write : Access::local_read;
+  const std::byte* local = wr.local_addr;
+  if (!hca_.memory().check_local(local, wr.length, wr.lkey, needed)) {
+    if (wr.signaled)
+      send_cq_->push(Completion{wr.wr_id, WcStatus::local_protection_error,
+                                WcOpcode::send, 0, qpn_, remote_qpn_});
+    enter_error();
+    return;
+  }
+
+  PendingSend ps;
+  ps.wr = wr;
+  ps.msn = next_msn_++;
+  ps.rnr_retries_left = hca_.fabric().config().rnr_retry_limit;
+  auto data = std::make_shared<MessageData>();
+  data->opcode = wr.opcode;
+  data->length = wr.length;
+  data->remote_addr = wr.remote_addr;
+  data->rkey = wr.rkey;
+  if (wr.opcode != WrOpcode::rdma_read) {
+    data->payload.assign(wr.local_addr, wr.local_addr + wr.length);
+  }
+  ps.data = std::move(data);
+  pending_tx_.push_back(std::move(ps));
+  pump_tx();
+}
+
+void QueuePair::post_recv(const RecvWr& wr) {
+  util::require(state_ != QpState::reset, "post_recv on unconnected QP");
+  if (state_ == QpState::error) {
+    recv_cq_->push(Completion{wr.wr_id, WcStatus::flushed, WcOpcode::recv, 0,
+                              qpn_, remote_qpn_});
+    return;
+  }
+  if (!hca_.memory().check_local(wr.local_addr, wr.length, wr.lkey,
+                                 Access::local_write)) {
+    recv_cq_->push(Completion{wr.wr_id, WcStatus::local_protection_error,
+                              WcOpcode::recv, 0, qpn_, remote_qpn_});
+    enter_error();
+    return;
+  }
+  recvq_.push_back(wr);
+}
+
+void QueuePair::pump_tx() {
+  while (state_ == QpState::ready && !rnr_waiting_ && !pending_tx_.empty()) {
+    // End-to-end credit pacing (channel sends only): with credit
+    // information, keep at most advertised+2 unacked sends outstanding.
+    // The two-message allowance reflects that credit information is a
+    // round trip stale; the optimistic extra messages race the receiver's
+    // reposts, and a lost race takes the RNR NAK + timeout path — which is
+    // exactly how the paper's hardware scheme degrades on bursty patterns.
+    if (hca_.fabric().config().e2e_credit_pacing &&
+        pending_tx_.front().wr.opcode == WrOpcode::send &&
+        advertised_credits_ >= 0) {
+      std::int64_t unacked_sends = 0;
+      for (const auto& u : unacked_)
+        if (u.wr.opcode == WrOpcode::send) ++unacked_sends;
+      if (unacked_sends > advertised_credits_ + 1) break;
+    }
+    PendingSend ps = std::move(pending_tx_.front());
+    pending_tx_.pop_front();
+    transmit_message(ps);
+    if (ps.wr.opcode == WrOpcode::rdma_read && !ps.retransmission) {
+      reads_.emplace_back(ps.msn, ReadPending{ps.wr, 0});
+    }
+    unacked_.push_back(std::move(ps));
+  }
+}
+
+void QueuePair::transmit_message(PendingSend& ps) {
+  Fabric& fabric = hca_.fabric();
+  const auto& cfg = fabric.config();
+  const auto now = fabric.engine().now();
+
+  if (ps.retransmission) {
+    ++stats_.retransmitted_messages;
+    stats_.retransmitted_bytes += ps.data->length;
+  } else {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += ps.data->length;
+  }
+
+  const std::uint32_t count =
+      ps.wr.opcode == WrOpcode::rdma_read ? 1
+                                          : packet_count(ps.data->length, cfg.mtu);
+  std::uint32_t remaining = ps.data->length;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Packet pkt;
+    pkt.kind = ps.wr.opcode == WrOpcode::rdma_read ? PacketKind::rdma_read_req
+                                                   : PacketKind::data;
+    pkt.src_qpn = qpn_;
+    pkt.dst_qpn = remote_qpn_;
+    pkt.msn = ps.msn;
+    pkt.pkt_index = i;
+    pkt.pkt_count = count;
+    pkt.payload_bytes =
+        pkt.kind == PacketKind::rdma_read_req ? 0 : std::min(remaining, cfg.mtu);
+    remaining -= pkt.payload_bytes;
+    pkt.msg = ps.data;
+    fabric.transmit(hca_.node_id(), remote_node_, std::move(pkt),
+                    now + cfg.tx_wqe_process);
+    ++stats_.packets_sent;
+  }
+}
+
+void QueuePair::send_control(PacketKind kind, Msn msn, std::int64_t credits) {
+  Packet pkt;
+  pkt.kind = kind;
+  pkt.src_qpn = qpn_;
+  pkt.dst_qpn = remote_qpn_;
+  pkt.msn = msn;
+  pkt.credits = credits;
+  hca_.fabric().transmit(hca_.node_id(), remote_node_, std::move(pkt),
+                         hca_.fabric().engine().now());
+}
+
+void QueuePair::complete_send(const PendingSend& ps, WcStatus status,
+                              WcOpcode op) {
+  if (!ps.wr.signaled && status == WcStatus::success) return;
+  send_cq_->push(Completion{ps.wr.wr_id, status, op,
+                            ps.data ? ps.data->length : 0, qpn_, remote_qpn_});
+}
+
+void QueuePair::post_send_ud(const SendWr& wr) {
+  // Unreliable Datagram (paper §2.1): connectionless — every work request
+  // names its destination; messages are at most one MTU; delivery is
+  // best-effort with no ACK, no retry, and silent drops when the target
+  // has no receive posted. The send completes as soon as it leaves.
+  const auto& cfg = hca_.fabric().config();
+  util::require(wr.opcode == WrOpcode::send, "UD supports send only");
+  util::require(wr.length <= cfg.mtu, "UD message exceeds one MTU");
+  util::require(wr.dest_node >= 0, "UD send needs a destination");
+  if (!hca_.memory().check_local(wr.local_addr, wr.length, wr.lkey,
+                                 Access::local_read)) {
+    if (wr.signaled)
+      send_cq_->push(Completion{wr.wr_id, WcStatus::local_protection_error,
+                                WcOpcode::send, 0, qpn_, wr.dest_qpn});
+    return;  // UD QPs do not transition to error for a bad post
+  }
+  auto data = std::make_shared<MessageData>();
+  data->opcode = WrOpcode::send;
+  data->length = wr.length;
+  data->payload.assign(wr.local_addr, wr.local_addr + wr.length);
+
+  Packet pkt;
+  pkt.kind = PacketKind::data;
+  pkt.src_qpn = qpn_;
+  pkt.dst_qpn = wr.dest_qpn;
+  pkt.msn = next_msn_++;
+  pkt.payload_bytes = wr.length;
+  pkt.msg = std::move(data);
+  hca_.fabric().transmit(hca_.node_id(), wr.dest_node, std::move(pkt),
+                         hca_.fabric().engine().now() + cfg.tx_wqe_process);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += wr.length;
+  ++stats_.packets_sent;
+  if (wr.signaled)
+    send_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::send,
+                              wr.length, qpn_, wr.dest_qpn});
+}
+
+void QueuePair::rx_packet_ud(const Packet& pkt) {
+  if (pkt.kind != PacketKind::data) return;  // UD carries datagrams only
+  if (recvq_.empty()) {
+    // No buffer: the datagram is silently dropped — the defining contrast
+    // with RC's RNR NAK + retry that the paper's flow-control study
+    // builds on.
+    ++stats_.packets_dropped;
+    return;
+  }
+  const RecvWr wr = recvq_.front();
+  recvq_.pop_front();
+  if (pkt.msg->length > wr.length) {
+    recv_cq_->push(Completion{wr.wr_id, WcStatus::length_error, WcOpcode::recv,
+                              pkt.msg->length, qpn_, pkt.src_qpn});
+    return;
+  }
+  if (!pkt.msg->payload.empty())
+    std::memcpy(wr.local_addr, pkt.msg->payload.data(), pkt.msg->length);
+  ++stats_.messages_received;
+  recv_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::recv,
+                            pkt.msg->length, qpn_, pkt.src_qpn});
+}
+
+void QueuePair::rx_packet(const Packet& pkt) {
+  if (type_ == QpType::ud) {
+    rx_packet_ud(pkt);
+    return;
+  }
+  if (state_ != QpState::ready) return;  // drop on errored QP
+  switch (pkt.kind) {
+    case PacketKind::data: handle_data(pkt); break;
+    case PacketKind::rdma_read_req: handle_read_req(pkt); break;
+    case PacketKind::rdma_read_resp: handle_read_resp(pkt); break;
+    case PacketKind::ack: handle_ack(pkt); break;
+    case PacketKind::rnr_nak: handle_rnr_nak(pkt); break;
+    case PacketKind::access_nak: handle_access_nak(pkt); break;
+  }
+}
+
+void QueuePair::handle_data(const Packet& pkt) {
+  if (pkt.msn != expected_msn_) {
+    // Either a stale duplicate (already accepted) or a pipelined message
+    // racing ahead of an RNR-dropped predecessor: drop silently; the
+    // requester's RNR rewind replays everything from the NAK'd message.
+    ++stats_.packets_dropped;
+    return;
+  }
+  if (pkt.pkt_index == 0) {
+    dropping_msn_ = static_cast<Msn>(-1);
+    rx_cur_.reset();
+    if (pkt.msg->opcode == WrOpcode::send) {
+      responder_accept_send(pkt);
+    } else {
+      responder_accept_write(pkt);
+    }
+    return;
+  }
+  // Continuation packet.
+  if (dropping_msn_ == pkt.msn) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  if (pkt.msg->opcode == WrOpcode::send) {
+    if (!rx_cur_ || rx_cur_->msn != pkt.msn) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    responder_accept_send(pkt);
+  } else {
+    responder_accept_write(pkt);
+  }
+}
+
+void QueuePair::responder_accept_send(const Packet& pkt) {
+  if (pkt.pkt_index == 0) {
+    if (recvq_.empty()) {
+      // Receiver not ready: drop the message, tell the requester.
+      ++stats_.rnr_naks_sent;
+      dropping_msn_ = pkt.msn;
+      send_control(PacketKind::rnr_nak, pkt.msn);
+      return;
+    }
+    RxAssembly asm_state;
+    asm_state.msn = pkt.msn;
+    asm_state.wr = recvq_.front();
+    recvq_.pop_front();
+    asm_state.pkts_seen = 0;
+    rx_cur_ = asm_state;
+  }
+  util::check(rx_cur_ && rx_cur_->msn == pkt.msn, "rx assembly out of sync");
+  ++rx_cur_->pkts_seen;
+  if (rx_cur_->pkts_seen < pkt.pkt_count) return;
+
+  // Whole message arrived.
+  const RecvWr wr = rx_cur_->wr;
+  rx_cur_.reset();
+  ++expected_msn_;
+  if (pkt.msg->length > wr.length) {
+    recv_cq_->push(Completion{wr.wr_id, WcStatus::length_error, WcOpcode::recv,
+                              pkt.msg->length, qpn_, pkt.src_qpn});
+    enter_error();
+    return;
+  }
+  if (!pkt.msg->payload.empty()) {
+    std::memcpy(wr.local_addr, pkt.msg->payload.data(), pkt.msg->length);
+  }
+  ++stats_.messages_received;
+  recv_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::recv,
+                            pkt.msg->length, qpn_, pkt.src_qpn});
+  send_control(PacketKind::ack, pkt.msn,
+               static_cast<std::int64_t>(recvq_.size()));
+}
+
+void QueuePair::responder_accept_write(const Packet& pkt) {
+  if (pkt.pkt_index == 0) {
+    if (!hca_.memory().check_remote(pkt.msg->remote_addr, pkt.msg->length,
+                                    pkt.msg->rkey, Access::remote_write)) {
+      dropping_msn_ = pkt.msn;
+      send_control(PacketKind::access_nak, pkt.msn);
+      return;
+    }
+    RxAssembly asm_state;
+    asm_state.msn = pkt.msn;
+    asm_state.pkts_seen = 0;
+    rx_cur_ = asm_state;
+  }
+  if (!rx_cur_ || rx_cur_->msn != pkt.msn) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  ++rx_cur_->pkts_seen;
+  if (rx_cur_->pkts_seen < pkt.pkt_count) return;
+
+  rx_cur_.reset();
+  ++expected_msn_;
+  std::memcpy(pkt.msg->remote_addr, pkt.msg->payload.data(), pkt.msg->length);
+  ++stats_.messages_received;
+  send_control(PacketKind::ack, pkt.msn,
+               static_cast<std::int64_t>(recvq_.size()));
+}
+
+void QueuePair::handle_read_req(const Packet& pkt) {
+  if (pkt.msn != expected_msn_) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  if (!hca_.memory().check_remote(pkt.msg->remote_addr, pkt.msg->length,
+                                  pkt.msg->rkey, Access::remote_read)) {
+    send_control(PacketKind::access_nak, pkt.msn);
+    return;
+  }
+  ++expected_msn_;
+  ++stats_.messages_received;
+
+  // Stream the response back: snapshot the requested bytes now.
+  Fabric& fabric = hca_.fabric();
+  const auto& cfg = fabric.config();
+  auto resp = std::make_shared<MessageData>();
+  resp->opcode = WrOpcode::rdma_read;
+  resp->length = pkt.msg->length;
+  resp->payload.assign(pkt.msg->remote_addr,
+                       pkt.msg->remote_addr + pkt.msg->length);
+  const std::uint32_t count = packet_count(resp->length, cfg.mtu);
+  std::uint32_t remaining = resp->length;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Packet out;
+    out.kind = PacketKind::rdma_read_resp;
+    out.src_qpn = qpn_;
+    out.dst_qpn = remote_qpn_;
+    out.msn = pkt.msn;
+    out.pkt_index = i;
+    out.pkt_count = count;
+    out.payload_bytes = std::min(remaining, cfg.mtu);
+    remaining -= out.payload_bytes;
+    out.msg = resp;
+    fabric.transmit(hca_.node_id(), remote_node_, std::move(out),
+                    fabric.engine().now());
+  }
+}
+
+void QueuePair::handle_read_resp(const Packet& pkt) {
+  auto it = std::find_if(reads_.begin(), reads_.end(),
+                         [&](const auto& p) { return p.first == pkt.msn; });
+  if (it == reads_.end()) {
+    ++stats_.packets_dropped;  // stale response after a rewind
+    return;
+  }
+  ReadPending& rp = it->second;
+  ++rp.received;
+  if (rp.received < pkt.pkt_count) return;
+
+  std::memcpy(const_cast<std::byte*>(rp.wr.local_addr), pkt.msg->payload.data(),
+              pkt.msg->length);
+  // Mark the matching unacked entry complete and retire in order.
+  for (auto& ps : unacked_) {
+    if (ps.msn == pkt.msn) {
+      ps.acked = true;
+    }
+  }
+  reads_.erase(it);
+  retire_acked_();
+}
+
+void QueuePair::handle_ack(const Packet& pkt) {
+  stats_.last_advertised_credits = pkt.credits;
+  advertised_credits_ = pkt.credits;
+  for (auto& ps : unacked_) {
+    if (ps.msn <= pkt.msn && ps.wr.opcode != WrOpcode::rdma_read) {
+      ps.acked = true;
+    }
+  }
+  retire_acked_();
+  pump_tx();  // freed window and fresh credit information
+}
+
+void QueuePair::retire_acked_() {
+  while (!unacked_.empty() && unacked_.front().acked) {
+    const PendingSend ps = std::move(unacked_.front());
+    unacked_.pop_front();
+    WcOpcode op = WcOpcode::send;
+    if (ps.wr.opcode == WrOpcode::rdma_write) op = WcOpcode::rdma_write;
+    if (ps.wr.opcode == WrOpcode::rdma_read) op = WcOpcode::rdma_read;
+    complete_send(ps, WcStatus::success, op);
+  }
+}
+
+void QueuePair::handle_rnr_nak(const Packet& pkt) {
+  ++stats_.rnr_naks_received;
+  if (rnr_waiting_) return;  // already rewinding
+
+  // Find the NAK'd message among the unacked; it may already be gone if a
+  // duplicate NAK raced with the retry's ACK.
+  auto it = std::find_if(unacked_.begin(), unacked_.end(),
+                         [&](const PendingSend& p) { return p.msn == pkt.msn; });
+  if (it == unacked_.end()) return;
+
+  const int limit = hca_.fabric().config().rnr_retry_limit;
+  if (limit >= 0) {
+    if (it->rnr_retries_left <= 0) {
+      const PendingSend failed = std::move(*it);
+      unacked_.erase(it);
+      complete_send(failed, WcStatus::rnr_retry_exceeded, WcOpcode::send);
+      enter_error();
+      return;
+    }
+    --it->rnr_retries_left;
+  }
+
+  // Rewind: everything from the NAK'd message back to the pending queue,
+  // marked as retransmissions. The wire copies already sent will be dropped
+  // as out-of-sequence at the responder.
+  std::deque<PendingSend> rewound;
+  while (!unacked_.empty() && unacked_.back().msn >= pkt.msn) {
+    PendingSend ps = std::move(unacked_.back());
+    unacked_.pop_back();
+    ps.retransmission = true;
+    // Drop any half-assembled read response; it will be re-requested.
+    reads_.erase(std::remove_if(reads_.begin(), reads_.end(),
+                                [&](const auto& p) { return p.first == ps.msn; }),
+                 reads_.end());
+    rewound.push_front(std::move(ps));
+  }
+  for (auto rit = rewound.rbegin(); rit != rewound.rend(); ++rit) {
+    pending_tx_.push_front(std::move(*rit));
+  }
+
+  rnr_waiting_ = true;
+  rnr_timer_ = hca_.fabric().engine().schedule_after(
+      hca_.fabric().config().rnr_timeout, [this] {
+        rnr_waiting_ = false;
+        pump_tx();
+      });
+}
+
+void QueuePair::handle_access_nak(const Packet& pkt) {
+  auto it = std::find_if(unacked_.begin(), unacked_.end(),
+                         [&](const PendingSend& p) { return p.msn == pkt.msn; });
+  if (it != unacked_.end()) {
+    const PendingSend failed = std::move(*it);
+    unacked_.erase(it);
+    const WcOpcode op = failed.wr.opcode == WrOpcode::rdma_read
+                            ? WcOpcode::rdma_read
+                            : WcOpcode::rdma_write;
+    complete_send(failed, WcStatus::remote_access_error, op);
+  }
+  enter_error();
+}
+
+void QueuePair::enter_error() {
+  if (state_ == QpState::error) return;
+  state_ = QpState::error;
+  rnr_timer_.cancel();
+  for (const auto& ps : pending_tx_)
+    complete_send(ps, WcStatus::flushed, WcOpcode::send);
+  for (const auto& ps : unacked_)
+    complete_send(ps, WcStatus::flushed, WcOpcode::send);
+  pending_tx_.clear();
+  unacked_.clear();
+  reads_.clear();
+  for (const auto& wr : recvq_)
+    recv_cq_->push(Completion{wr.wr_id, WcStatus::flushed, WcOpcode::recv, 0,
+                              qpn_, remote_qpn_});
+  recvq_.clear();
+}
+
+}  // namespace mvflow::ib

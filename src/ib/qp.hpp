@@ -1,0 +1,140 @@
+// Reliable Connection queue pair.
+//
+// Implements the requester/responder protocol the flow-control study
+// depends on:
+//   * messages segment at the path MTU and pipeline onto the wire in order;
+//   * the responder consumes posted recv WQEs in FIFO order (channel
+//     semantics) and ACKs each completed message, advertising how many
+//     recv WQEs remain (end-to-end credit information);
+//   * if a send arrives with no recv WQE posted, the whole message is
+//     dropped and an RNR NAK returned; the requester rewinds, waits the
+//     RNR timer, and replays — subsequent pipelined messages that were
+//     already on the wire are dropped as out-of-sequence (wasted
+//     bandwidth, exactly the hardware-scheme cost the paper discusses);
+//   * RDMA write/read bypass recv WQEs (memory semantics) and are bounds-
+//     checked against the responder's registry.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "ib/packet.hpp"
+#include "ib/types.hpp"
+#include "sim/engine.hpp"
+
+namespace mvflow::ib {
+
+class Hca;
+class CompletionQueue;
+
+enum class QpState : std::uint8_t { reset, ready, error };
+
+class QueuePair {
+ public:
+  QueuePair(Hca& hca, QpNumber qpn, std::shared_ptr<CompletionQueue> send_cq,
+            std::shared_ptr<CompletionQueue> recv_cq,
+            QpType type = QpType::rc);
+
+  QpType type() const noexcept { return type_; }
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  QpNumber qpn() const noexcept { return qpn_; }
+  QpState state() const noexcept { return state_; }
+  QpNumber remote_qpn() const noexcept { return remote_qpn_; }
+  int remote_node() const noexcept { return remote_node_; }
+  bool connected() const noexcept { return state_ == QpState::ready; }
+
+  /// Queue a send-side work request. Requires a connected QP. Local
+  /// protection failures complete with an error CQE and error the QP.
+  void post_send(const SendWr& wr);
+
+  /// Post a receive buffer (channel semantics destination).
+  void post_recv(const RecvWr& wr);
+
+  std::size_t posted_recv_count() const noexcept { return recvq_.size(); }
+  std::size_t pending_send_count() const noexcept {
+    return pending_tx_.size() + unacked_.size();
+  }
+
+  const QpStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Fabric;
+  friend class Hca;
+
+  void set_remote(int node, QpNumber qpn);  // connection setup (Fabric)
+  void rx_packet(const Packet& pkt);        // fabric delivery
+
+  struct PendingSend {
+    SendWr wr;
+    Msn msn = 0;
+    std::shared_ptr<const MessageData> data;
+    int rnr_retries_left = 0;
+    bool retransmission = false;
+    bool acked = false;
+  };
+
+  void pump_tx();
+  void transmit_message(PendingSend& ps);
+  void send_control(PacketKind kind, Msn msn, std::int64_t credits = -1);
+  void complete_send(const PendingSend& ps, WcStatus status, WcOpcode op);
+  void handle_ack(const Packet& pkt);
+  void retire_acked_();
+  void handle_rnr_nak(const Packet& pkt);
+  void handle_access_nak(const Packet& pkt);
+  void handle_data(const Packet& pkt);
+  void handle_read_req(const Packet& pkt);
+  void handle_read_resp(const Packet& pkt);
+  void responder_accept_send(const Packet& pkt);
+  void responder_accept_write(const Packet& pkt);
+  void enter_error();
+
+  void post_send_ud(const SendWr& wr);
+  void rx_packet_ud(const Packet& pkt);
+
+  Hca& hca_;
+  QpNumber qpn_;
+  QpType type_;
+  std::shared_ptr<CompletionQueue> send_cq_;
+  std::shared_ptr<CompletionQueue> recv_cq_;
+  QpState state_ = QpState::reset;
+  int remote_node_ = -1;
+  QpNumber remote_qpn_ = 0;
+
+  // Requester side.
+  std::deque<PendingSend> pending_tx_;  // queued, not yet on the wire
+  std::deque<PendingSend> unacked_;     // on the wire, awaiting ACK
+  Msn next_msn_ = 0;
+  bool rnr_waiting_ = false;
+  /// IBA end-to-end flow control: the responder's last advertised recv-WQE
+  /// count (piggybacked on ACKs). < 0 = no information yet (unlimited).
+  /// The requester paces channel sends against it, keeping one "probe"
+  /// message allowance so stale information cannot deadlock the flow —
+  /// a probe that loses the race takes the RNR NAK path.
+  std::int64_t advertised_credits_ = -1;
+  sim::EventHandle rnr_timer_;
+  // RDMA read reassembly (one outstanding read at a time is enough for us,
+  // but multiple are supported keyed by msn).
+  struct ReadPending {
+    SendWr wr;
+    std::uint32_t received = 0;
+  };
+  std::deque<std::pair<Msn, ReadPending>> reads_;
+
+  // Responder side.
+  std::deque<RecvWr> recvq_;
+  Msn expected_msn_ = 0;
+  Msn dropping_msn_ = static_cast<Msn>(-1);  // message being discarded
+  struct RxAssembly {
+    Msn msn;
+    RecvWr wr;
+    std::uint32_t pkts_seen = 0;
+  };
+  std::optional<RxAssembly> rx_cur_;
+
+  QpStats stats_;
+};
+
+}  // namespace mvflow::ib

@@ -1,0 +1,125 @@
+// Core verbs-level types: work requests, completions, access flags.
+//
+// These mirror the InfiniBand Verbs surface the paper's MPI sits on
+// (post_send / post_recv / poll_cq, channel and memory semantics), reduced
+// to what an RC-service MPI actually touches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mvflow::ib {
+
+using QpNumber = std::uint32_t;
+using Msn = std::uint64_t;  ///< Message sequence number within a QP.
+
+/// Memory-region access rights (combinable).
+enum class Access : std::uint32_t {
+  none = 0,
+  local_read = 1u << 0,
+  local_write = 1u << 1,
+  remote_read = 1u << 2,
+  remote_write = 1u << 3,
+};
+
+constexpr Access operator|(Access a, Access b) {
+  return static_cast<Access>(static_cast<std::uint32_t>(a) |
+                             static_cast<std::uint32_t>(b));
+}
+constexpr bool has_access(Access set, Access bit) {
+  return (static_cast<std::uint32_t>(set) & static_cast<std::uint32_t>(bit)) != 0;
+}
+
+/// Handle to a registered memory region.
+struct MemoryRegionHandle {
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  bool valid() const { return lkey != 0; }
+};
+
+enum class WrOpcode : std::uint8_t { send, rdma_write, rdma_read };
+
+/// Transport service type of a queue pair (the two services implemented by
+/// the paper's era of hardware).
+enum class QpType : std::uint8_t {
+  rc,  ///< Reliable Connection: connected, acked, in-order, RNR-retried.
+  ud,  ///< Unreliable Datagram: connectionless, one MTU max, silent drops.
+};
+
+/// Work request posted to a send queue. Channel semantics (send) describe
+/// only the source; memory semantics (rdma_*) also name the remote side.
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  WrOpcode opcode = WrOpcode::send;
+  const std::byte* local_addr = nullptr;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+  // RDMA only:
+  std::byte* remote_addr = nullptr;
+  std::uint32_t rkey = 0;
+  bool signaled = true;  ///< Generate a CQE on completion.
+  // UD only: destination "address handle" (node + QPN per work request).
+  int dest_node = -1;
+  QpNumber dest_qpn = 0;
+};
+
+/// Work request posted to a receive queue (channel semantics destination).
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::byte* local_addr = nullptr;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
+enum class WcStatus : std::uint8_t {
+  success,
+  local_protection_error,   ///< lkey/bounds check failed at this HCA
+  remote_access_error,      ///< rkey/bounds check failed at the responder
+  rnr_retry_exceeded,       ///< receiver-not-ready retries exhausted
+  length_error,             ///< inbound message larger than the posted buffer
+  flushed,                  ///< QP entered error state; WR flushed
+};
+
+enum class WcOpcode : std::uint8_t { send, recv, rdma_write, rdma_read };
+
+/// Work completion reported through a CQ.
+struct Completion {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::success;
+  WcOpcode opcode = WcOpcode::send;
+  std::uint32_t byte_len = 0;
+  QpNumber qp_num = 0;      ///< Local QP this completion belongs to.
+  QpNumber src_qp = 0;      ///< Remote QP (recv completions).
+  bool ok() const { return status == WcStatus::success; }
+};
+
+/// Per-QP protocol statistics; drives the hardware-scheme analysis
+/// (RNR storms, retransmitted bytes) in the benchmarks.
+struct QpStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t rnr_naks_received = 0;  ///< As requester.
+  std::uint64_t rnr_naks_sent = 0;      ///< As responder (no buffer posted).
+  std::uint64_t retransmitted_messages = 0;
+  std::uint64_t retransmitted_bytes = 0;
+  std::uint64_t packets_dropped = 0;    ///< Out-of-sequence / no-buffer drops.
+  std::int64_t last_advertised_credits = -1;  ///< From the newest ACK.
+
+  void accumulate(const QpStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    packets_sent += o.packets_sent;
+    messages_received += o.messages_received;
+    rnr_naks_received += o.rnr_naks_received;
+    rnr_naks_sent += o.rnr_naks_sent;
+    retransmitted_messages += o.retransmitted_messages;
+    retransmitted_bytes += o.retransmitted_bytes;
+    packets_dropped += o.packets_dropped;
+  }
+};
+
+}  // namespace mvflow::ib

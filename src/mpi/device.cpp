@@ -1,0 +1,574 @@
+#include "mpi/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/world.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::mpi {
+
+namespace {
+constexpr std::size_t kBounceChunk = 64;  // bounce slots added per arena
+}
+
+Device::Device(World& world, Rank me) : world_(world), me_(me) {
+  hca_ = &world_.fabric().hca(me);
+  cq_ = hca_->create_cq();
+}
+
+Device::~Device() = default;
+
+int Device::world_size() const { return world_.num_ranks(); }
+
+// ---------------------------------------------------------------- setup --
+
+ib::QueuePair& Device::create_endpoint(Rank peer) {
+  util::check(endpoints_.count(peer) == 0, "endpoint already exists");
+  auto ep = std::make_unique<Endpoint>(world_.config().flow);
+  ep->peer = peer;
+  ep->qp = hca_->create_qp(cq_, cq_);
+  qp_to_peer_.emplace(ep->qp->qpn(), peer);
+  ib::QueuePair& qp = *ep->qp;
+  endpoints_.emplace(peer, std::move(ep));
+  return qp;
+}
+
+void Device::activate_endpoint(Rank peer) {
+  Endpoint& ep = *endpoints_.at(peer);
+  util::check(ep.qp->connected(), "activate before connect");
+  util::check(!ep.active, "endpoint already active");
+  ep.active = true;
+  const int total = ep.flow.initial_posted() +
+                    static_cast<int>(world_.config().device.control_reserve);
+  grow_recv_slots(ep, total);
+}
+
+Device::Endpoint& Device::ensure_endpoint(Rank peer) {
+  const auto it = endpoints_.find(peer);
+  if (it != endpoints_.end() && it->second->active) return *it->second;
+  util::check(world_.config().on_demand_connections,
+              "endpoint missing outside on-demand mode");
+  charge(world_.config().device.connect_setup);
+  world_.wire_pair(me_, peer);
+  return *endpoints_.at(peer);
+}
+
+Device::Endpoint& Device::endpoint_for_qp(ib::QpNumber qpn) {
+  return *endpoints_.at(qp_to_peer_.at(qpn));
+}
+
+void Device::grow_recv_slots(Endpoint& ep, int count) {
+  util::require(count > 0, "grow by zero");
+  const auto slot_size = world_.config().device.buffer_size;
+  Arena arena;
+  arena.storage = std::make_unique<std::vector<std::byte>>(
+      static_cast<std::size_t>(count) * slot_size);
+  arena.mr = hca_->register_memory(*arena.storage,
+                                   ib::Access::local_read | ib::Access::local_write);
+  std::byte* base = arena.storage->data();
+  const std::uint32_t lkey = arena.mr.lkey;
+  ep.recv_arenas.push_back(std::move(arena));
+  for (int i = 0; i < count; ++i) {
+    ep.slots.push_back(RecvSlot{base + static_cast<std::size_t>(i) * slot_size, lkey});
+    post_slot(ep, ep.slots.size() - 1);
+  }
+}
+
+void Device::post_slot(Endpoint& ep, std::size_t slot_idx) {
+  const RecvSlot& slot = ep.slots[slot_idx];
+  ib::RecvWr wr;
+  wr.wr_id = slot_idx;
+  wr.local_addr = slot.addr;
+  wr.length = world_.config().device.buffer_size;
+  wr.lkey = slot.lkey;
+  ep.qp->post_recv(wr);
+}
+
+// -------------------------------------------------------- bounce buffers --
+
+std::size_t Device::acquire_bounce_slot() {
+  if (bounce_free_.empty()) {
+    const auto slot_size = world_.config().device.buffer_size;
+    Arena arena;
+    arena.storage =
+        std::make_unique<std::vector<std::byte>>(kBounceChunk * slot_size);
+    arena.mr = hca_->register_memory(
+        *arena.storage, ib::Access::local_read | ib::Access::local_write);
+    std::byte* base = arena.storage->data();
+    const std::uint32_t lkey = arena.mr.lkey;
+    bounce_arenas_.push_back(std::move(arena));
+    for (std::size_t i = 0; i < kBounceChunk; ++i) {
+      bounce_slots_.push_back(RecvSlot{base + i * slot_size, lkey});
+      bounce_free_.push_back(bounce_slots_.size() - 1);
+    }
+  }
+  const std::size_t idx = bounce_free_.back();
+  bounce_free_.pop_back();
+  return idx;
+}
+
+void Device::release_bounce_slot(std::size_t idx) { bounce_free_.push_back(idx); }
+std::byte* Device::bounce_addr(std::size_t idx) { return bounce_slots_[idx].addr; }
+std::uint32_t Device::bounce_lkey(std::size_t idx) { return bounce_slots_[idx].lkey; }
+
+// ------------------------------------------------------------- pin cache --
+
+ib::MemoryRegionHandle Device::pin(std::byte* addr, std::size_t len) {
+  const auto& dcfg = world_.config().device;
+  if (dcfg.reg_cache) {
+    for (auto it = reg_cache_.begin(); it != reg_cache_.end(); ++it) {
+      if (it->addr == addr && it->len >= len) {
+        ++stats_.reg_cache_hits;
+        reg_cache_.splice(reg_cache_.begin(), reg_cache_, it);  // LRU bump
+        return reg_cache_.front().mr;
+      }
+    }
+  }
+  ++stats_.reg_cache_misses;
+  const auto pages = (len + dcfg.page_size - 1) / dcfg.page_size;
+  charge(dcfg.reg_base + dcfg.reg_per_page * static_cast<std::int64_t>(pages));
+  const auto mr = hca_->register_memory(
+      std::span<std::byte>(addr, len),
+      ib::Access::local_read | ib::Access::local_write | ib::Access::remote_read |
+          ib::Access::remote_write);
+  if (!dcfg.reg_cache) return mr;
+  reg_cache_.push_front(CacheEntry{addr, len, mr});
+  if (reg_cache_.size() > dcfg.reg_cache_capacity) {
+    hca_->deregister_memory(reg_cache_.back().mr);
+    reg_cache_.pop_back();
+  }
+  return mr;
+}
+
+void Device::charge(sim::Duration d) {
+  if (proc_ != nullptr && d > sim::Duration::zero()) proc_->delay(d);
+}
+
+void Device::charge_copy(std::size_t bytes) {
+  if (bytes == 0) return;
+  charge(sim::transfer_time(bytes, world_.config().device.copy_bandwidth_bps));
+}
+
+// ------------------------------------------------------------ send paths --
+
+RequestPtr Device::isend(Rank dst, Tag tag, std::span<const std::byte> data,
+                         SendMode mode) {
+  progress();  // every MPI entry point advances the engine (as MPICH does)
+  const auto& dcfg = world_.config().device;
+  charge(dcfg.send_overhead);
+  Endpoint& ep = ensure_endpoint(dst);
+  auto req = std::make_shared<Request>(RequestKind::send, next_rndv_id_++);
+  stats_.payload_bytes_sent += data.size();
+
+  if (mode == SendMode::synchronous) {
+    // Always rendezvous: the CTS proves the receive matched, so the send
+    // cannot complete before the receiver arrives.
+    start_send_rndv(ep, tag, data, req);
+    return req;
+  }
+  if (mode == SendMode::buffered) {
+    util::require(data.size() <= dcfg.eager_max_payload(),
+                  "buffered send exceeds the attached buffer size");
+  }
+  // standard / buffered / ready: eager whenever the payload fits.
+  if (data.size() <= dcfg.eager_max_payload()) {
+    ++stats_.eager_sent;
+    charge_copy(data.size());
+    WireHeader hdr;
+    hdr.kind = MsgKind::eager_data;
+    hdr.tag = tag;
+    hdr.payload_bytes = static_cast<std::uint32_t>(data.size());
+    send_credited(ep, hdr, data, req);
+    return req;
+  }
+  start_send_rndv(ep, tag, data, req);
+  return req;
+}
+
+void Device::start_send_rndv(Endpoint& ep, Tag tag,
+                             std::span<const std::byte> data, RequestPtr req) {
+  ++stats_.rndv_started;
+  const std::uint64_t id = next_rndv_id_++;
+  SendRndv ctx;
+  ctx.dst = ep.peer;
+  ctx.data = data;
+  ctx.req = std::move(req);
+  if (!data.empty())
+    ctx.mr = pin(const_cast<std::byte*>(data.data()), data.size());
+  send_rndv_.emplace(id, std::move(ctx));
+
+  WireHeader hdr;
+  hdr.kind = MsgKind::rndv_rts;
+  hdr.tag = tag;
+  hdr.payload_bytes = static_cast<std::uint32_t>(data.size());
+  hdr.sreq = id;
+  send_credited(ep, hdr, {}, nullptr);
+}
+
+void Device::send_credited(Endpoint& ep, WireHeader hdr,
+                           std::span<const std::byte> payload,
+                           RequestPtr eager_req) {
+  util::check(is_credited(hdr.kind), "send_credited with control kind");
+  if (ep.backlog.empty() && ep.flow.try_acquire_credit()) {
+    post_wire(ep, hdr, payload);
+    if (eager_req) eager_req->mark_complete();  // buffered-send semantics
+    return;
+  }
+  ep.flow.note_backlogged();
+  BacklogEntry entry;
+  entry.hdr = hdr;
+  entry.payload.assign(payload.begin(), payload.end());
+  entry.eager_req = std::move(eager_req);
+  ep.backlog.push_back(std::move(entry));
+  drain_backlog(ep);  // under famine the head may leave as an optimistic RTS
+}
+
+void Device::drain_backlog(Endpoint& ep) {
+  while (!ep.backlog.empty() && ep.flow.try_acquire_credit()) {
+    BacklogEntry entry = std::move(ep.backlog.front());
+    ep.backlog.pop_front();
+    ep.flow.note_backlog_dispatched();
+    entry.hdr.backlogged = 1;  // dynamic-scheme feedback bit
+    post_wire(ep, entry.hdr, entry.payload);
+    if (entry.eager_req) entry.eager_req->mark_complete();
+  }
+  // The optimistic famine RTS bypasses credits, so it may land with no
+  // buffer posted and ride the RNR retry. With a tiny pool that race is
+  // near-certain and each loss costs a full RNR timeout, so below a few
+  // buffers we leave the head queued and rely on the (pool-capped) ECM
+  // threshold to bring credits back instead.
+  if (!ep.backlog.empty() && !ep.famine_rts_inflight &&
+      world_.config().device.convert_backlogged_to_rndv &&
+      ep.flow.config().prepost >= 4) {
+    dispatch_famine_head(ep);
+  }
+}
+
+void Device::dispatch_famine_head(Endpoint& ep) {
+  // Paper §4.2: with zero credits only Rendezvous is used — its RTS goes
+  // out optimistically (no credit; the RC RNR retry is the safety net, the
+  // same argument the paper makes for explicit credit messages), and the
+  // CTS piggybacks credits back, reviving the rest of the backlog.
+  BacklogEntry entry = std::move(ep.backlog.front());
+  ep.backlog.pop_front();
+  ep.flow.note_backlog_dispatched();
+  ep.flow.note_optimistic_rts();
+  ep.famine_rts_inflight = true;
+
+  WireHeader rts;
+  rts.kind = MsgKind::rndv_rts;
+  rts.tag = entry.hdr.tag;
+  rts.backlogged = 1;
+  rts.optimistic = 1;
+
+  const std::uint64_t id = next_rndv_id_++;
+  SendRndv ctx;
+  ctx.dst = ep.peer;
+  if (entry.hdr.kind == MsgKind::eager_data) {
+    // Convert the buffered eager payload into a rendezvous transfer.
+    ++stats_.small_converted_to_rndv;
+    ++stats_.rndv_started;
+    ctx.owned_payload = std::move(entry.payload);
+    ctx.req = std::move(entry.eager_req);
+    rts.payload_bytes = static_cast<std::uint32_t>(ctx.owned_payload.size());
+  } else {
+    // Already an RTS: re-issue it optimistically under its original id.
+    rts.payload_bytes = entry.hdr.payload_bytes;
+    rts.sreq = entry.hdr.sreq;
+    post_wire(ep, rts, {});
+    return;
+  }
+  auto& stored = send_rndv_.emplace(id, std::move(ctx)).first->second;
+  stored.data = std::span<const std::byte>(stored.owned_payload);
+  if (!stored.data.empty())
+    stored.mr = pin(stored.owned_payload.data(), stored.owned_payload.size());
+  rts.sreq = id;
+  post_wire(ep, rts, {});
+}
+
+void Device::send_ecm(Endpoint& ep) {
+  WireHeader hdr;
+  hdr.kind = MsgKind::credit;
+  ep.flow.note_ecm_sent();
+  post_wire(ep, hdr, {});
+}
+
+void Device::post_wire(Endpoint& ep, WireHeader hdr,
+                       std::span<const std::byte> payload) {
+  util::check(payload.size() + kHeaderBytes <= world_.config().device.buffer_size,
+              "wire message exceeds buffer size");
+  hdr.src_rank = me_;
+  hdr.piggyback_credits = ep.flow.take_return_credits();
+  if (hdr.kind == MsgKind::rndv_cts || hdr.kind == MsgKind::rndv_fin)
+    ep.flow.note_control_sent();
+  if (!is_credited(hdr.kind)) charge(world_.config().device.ctrl_send_overhead);
+
+  const std::size_t slot = acquire_bounce_slot();
+  std::byte* addr = bounce_addr(slot);
+  write_header(addr, hdr);
+  if (!payload.empty())
+    std::memcpy(addr + kHeaderBytes, payload.data(), payload.size());
+
+  const std::uint64_t txid = next_tx_id_++;
+  tx_.emplace(txid, TxCtx{false, slot, 0});
+  ib::SendWr wr;
+  wr.wr_id = txid;
+  wr.opcode = ib::WrOpcode::send;
+  wr.local_addr = addr;
+  wr.length = kHeaderBytes + static_cast<std::uint32_t>(payload.size());
+  wr.lkey = bounce_lkey(slot);
+  ep.qp->post_send(wr);
+}
+
+// --------------------------------------------------------- receive paths --
+
+RequestPtr Device::irecv(Rank src, Tag tag, std::span<std::byte> buffer) {
+  progress();  // every MPI entry point advances the engine (as MPICH does)
+  const auto& dcfg = world_.config().device;
+  charge(dcfg.recv_post_overhead);
+  auto req = std::make_shared<Request>(RequestKind::recv, next_rndv_id_++);
+
+  if (auto um = match_.match_posted(src, tag)) {
+    if (!um->is_rndv) {
+      util::require(um->eager_payload.size() <= buffer.size(),
+                    "receive buffer too small (truncation)");
+      charge_copy(um->eager_payload.size());
+      std::memcpy(buffer.data(), um->eager_payload.data(),
+                  um->eager_payload.size());
+      req->mark_complete(Status{um->src, um->tag,
+                                static_cast<std::uint32_t>(um->eager_payload.size())});
+      return req;
+    }
+    begin_recv_rndv(um->src, um->tag, um->rndv_sreq, um->rndv_bytes,
+                    buffer.data(), req);
+    return req;
+  }
+
+  PostedRecv pr;
+  pr.src = src;
+  pr.tag = tag;
+  pr.buffer = buffer.data();
+  pr.capacity = static_cast<std::uint32_t>(buffer.size());
+  pr.req = req;
+  match_.add_posted(std::move(pr));
+  return req;
+}
+
+void Device::begin_recv_rndv(Rank src, Tag tag, std::uint64_t sreq,
+                             std::uint32_t bytes, std::byte* buffer,
+                             RequestPtr req) {
+  const std::uint64_t id = next_rndv_id_++;
+  RecvRndv ctx;
+  ctx.src = src;
+  ctx.tag = tag;
+  ctx.buffer = buffer;
+  ctx.bytes = bytes;
+  ctx.req = std::move(req);
+  if (bytes > 0) ctx.mr = pin(buffer, bytes);
+  const auto rkey = ctx.mr.rkey;
+  recv_rndv_.emplace(id, std::move(ctx));
+
+  WireHeader hdr;
+  hdr.kind = MsgKind::rndv_cts;
+  hdr.sreq = sreq;
+  hdr.rreq = id;
+  hdr.raddr = reinterpret_cast<std::uint64_t>(buffer);
+  hdr.rkey = rkey;
+  post_wire(ensure_endpoint(src), hdr, {});
+}
+
+// ------------------------------------------------------------- progress --
+
+void Device::progress() {
+  while (auto wc = cq_->poll()) handle_completion(*wc);
+}
+
+void Device::handle_completion(const ib::Completion& wc) {
+  util::check(wc.ok(), "unexpected completion error in MPI device");
+  if (wc.opcode == ib::WcOpcode::recv) {
+    Endpoint& ep = endpoint_for_qp(wc.qp_num);
+    handle_inbound(ep, wc.wr_id, wc.byte_len);
+    return;
+  }
+  // Send-side completion: bounce release or rendezvous RDMA-write done.
+  const auto it = tx_.find(wc.wr_id);
+  util::check(it != tx_.end(), "completion for unknown tx");
+  const TxCtx ctx = it->second;
+  tx_.erase(it);
+  if (!ctx.is_rdma_write) {
+    release_bounce_slot(ctx.bounce_slot);
+    return;
+  }
+  // RDMA write finished: tell the receiver (FIN) and complete the send.
+  auto sit = send_rndv_.find(ctx.rndv_id);
+  util::check(sit != send_rndv_.end(), "write completion for unknown rndv");
+  SendRndv& sctx = sit->second;
+  WireHeader fin;
+  fin.kind = MsgKind::rndv_fin;
+  fin.rreq = sctx.rreq;
+  post_wire(*endpoints_.at(sctx.dst), fin, {});
+  if (sctx.req) sctx.req->mark_complete();
+  send_rndv_.erase(sit);
+}
+
+void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
+                            std::uint32_t byte_len) {
+  (void)byte_len;
+  const auto& dcfg = world_.config().device;
+  // Copy, not reference: growing the pool below reallocates ep.slots.
+  const RecvSlot slot = ep.slots.at(slot_idx);
+  const WireHeader hdr = read_header(slot.addr);
+  switch (hdr.kind) {
+    case MsgKind::eager_data: charge(dcfg.eager_handle_overhead); break;
+    case MsgKind::rndv_rts: charge(dcfg.rts_handle_overhead); break;
+    default: charge(dcfg.ctrl_handle_overhead); break;
+  }
+
+  if (hdr.piggyback_credits > 0) ep.flow.add_credits(hdr.piggyback_credits);
+  if (hdr.backlogged != 0) {
+    const int extra = ep.flow.on_backlogged_flag();
+    if (extra > 0) grow_recv_slots(ep, extra);
+  }
+
+  switch (hdr.kind) {
+    case MsgKind::eager_data:
+      deliver_eager(ep, hdr, slot.addr + kHeaderBytes);
+      break;
+    case MsgKind::rndv_rts: handle_rts(ep, hdr); break;
+    case MsgKind::rndv_cts: handle_cts(ep, hdr); break;
+    case MsgKind::rndv_fin: handle_fin(ep, hdr); break;
+    case MsgKind::credit: break;  // piggyback field already consumed
+  }
+
+  // Re-post the buffer immediately (paper §3.2), return the credit, and
+  // fire an ECM if the accumulation threshold is reached. Under dynamic
+  // decay the buffer may instead be retired, shrinking the pool.
+  if (is_credited(hdr.kind) && hdr.optimistic == 0) {
+    if (!ep.flow.take_decay_slot()) {
+      post_slot(ep, slot_idx);
+      if (ep.flow.on_credited_repost()) send_ecm(ep);
+    }
+  } else {
+    post_slot(ep, slot_idx);
+  }
+  stats_.max_unexpected = std::max(stats_.max_unexpected, match_.unexpected_count());
+  drain_backlog(ep);
+}
+
+void Device::deliver_eager(Endpoint& ep, const WireHeader& hdr,
+                           const std::byte* payload) {
+  charge_copy(hdr.payload_bytes);
+  if (auto pr = match_.match_inbound(ep.peer, hdr.tag)) {
+    util::require(hdr.payload_bytes <= pr->capacity,
+                  "receive buffer too small (truncation)");
+    std::memcpy(pr->buffer, payload, hdr.payload_bytes);
+    pr->req->mark_complete(Status{ep.peer, hdr.tag, hdr.payload_bytes});
+    return;
+  }
+  UnexpectedMsg um;
+  um.src = ep.peer;
+  um.tag = hdr.tag;
+  um.eager_payload.assign(payload, payload + hdr.payload_bytes);
+  match_.add_unexpected(std::move(um));
+}
+
+void Device::handle_rts(Endpoint& ep, const WireHeader& hdr) {
+  if (auto pr = match_.match_inbound(ep.peer, hdr.tag)) {
+    util::require(hdr.payload_bytes <= pr->capacity,
+                  "receive buffer too small (truncation)");
+    begin_recv_rndv(ep.peer, hdr.tag, hdr.sreq, hdr.payload_bytes, pr->buffer,
+                    pr->req);
+    return;
+  }
+  UnexpectedMsg um;
+  um.src = ep.peer;
+  um.tag = hdr.tag;
+  um.is_rndv = true;
+  um.rndv_bytes = hdr.payload_bytes;
+  um.rndv_sreq = hdr.sreq;
+  match_.add_unexpected(std::move(um));
+}
+
+void Device::handle_cts(Endpoint& ep, const WireHeader& hdr) {
+  ep.famine_rts_inflight = false;  // the handshake reached the peer
+  auto it = send_rndv_.find(hdr.sreq);
+  util::check(it != send_rndv_.end(), "CTS for unknown rendezvous");
+  SendRndv& ctx = it->second;
+  ctx.rreq = hdr.rreq;
+  if (ctx.data.empty()) {
+    // Zero-byte rendezvous: nothing to write, go straight to FIN.
+    WireHeader fin;
+    fin.kind = MsgKind::rndv_fin;
+    fin.rreq = hdr.rreq;
+    post_wire(ep, fin, {});
+    if (ctx.req) ctx.req->mark_complete();
+    send_rndv_.erase(it);
+    return;
+  }
+  const std::uint64_t txid = next_tx_id_++;
+  tx_.emplace(txid, TxCtx{true, 0, hdr.sreq});
+  ib::SendWr wr;
+  wr.wr_id = txid;
+  wr.opcode = ib::WrOpcode::rdma_write;
+  wr.local_addr = ctx.data.data();
+  wr.length = static_cast<std::uint32_t>(ctx.data.size());
+  wr.lkey = ctx.mr.lkey;
+  wr.remote_addr = reinterpret_cast<std::byte*>(hdr.raddr);
+  wr.rkey = hdr.rkey;
+  ep.qp->post_send(wr);
+}
+
+void Device::handle_fin(Endpoint& ep, const WireHeader& hdr) {
+  (void)ep;
+  auto it = recv_rndv_.find(hdr.rreq);
+  util::check(it != recv_rndv_.end(), "FIN for unknown rendezvous");
+  RecvRndv& ctx = it->second;
+  ctx.req->mark_complete(Status{ctx.src, ctx.tag, ctx.bytes});
+  recv_rndv_.erase(it);
+}
+
+// ------------------------------------------------------------- blocking --
+
+void Device::wait(const RequestPtr& req) {
+  util::require(req != nullptr, "wait on null request");
+  // Handle one completion at a time and re-check: a steady inbound stream
+  // must not keep wait() inside the progress engine past the completion of
+  // `req` (MPI_Wait returns as soon as its request is done; later traffic
+  // is handled by later MPI calls).
+  while (!req->complete()) {
+    if (auto wc = cq_->poll()) {
+      handle_completion(*wc);
+      continue;
+    }
+    cq_->nonempty().wait(*proc_);
+  }
+}
+
+bool Device::test(const RequestPtr& req) {
+  util::require(req != nullptr, "test on null request");
+  progress();
+  return req->complete();
+}
+
+// --------------------------------------------------------- introspection --
+
+const flowctl::ConnectionFlow& Device::flow(Rank peer) const {
+  return endpoints_.at(peer)->flow;
+}
+
+const ib::QpStats& Device::qp_stats(Rank peer) const {
+  return endpoints_.at(peer)->qp->stats();
+}
+
+std::vector<Rank> Device::peers() const {
+  std::vector<Rank> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [peer, ep] : endpoints_) {
+    (void)ep;
+    out.push_back(peer);
+  }
+  return out;
+}
+
+}  // namespace mvflow::mpi

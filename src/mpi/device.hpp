@@ -1,0 +1,206 @@
+// The ADI-style device layer: one per rank.
+//
+// Implements the paper's §3.1 design: Eager protocol for small messages
+// (copied through pre-pinned 2 KB buffers, IB send/recv), Rendezvous for
+// large ones (RTS/CTS handshake, zero-copy RDMA write, FIN), one CQ for all
+// connections of the process, and per-connection flow control supplied by
+// flowctl::ConnectionFlow (§4's three schemes).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "flowctl/flowctl.hpp"
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "mpi/config.hpp"
+#include "mpi/match.hpp"
+#include "mpi/protocol.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+#include "sim/process.hpp"
+
+namespace mvflow::mpi {
+
+class World;
+
+/// Device-level counters (per rank), aggregated by the benches.
+struct DeviceStats {
+  std::uint64_t eager_sent = 0;
+  std::uint64_t rndv_started = 0;
+  std::uint64_t small_converted_to_rndv = 0;  ///< Credit famine conversions.
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t reg_cache_hits = 0;
+  std::uint64_t reg_cache_misses = 0;
+  std::size_t max_unexpected = 0;
+};
+
+class Device {
+ public:
+  Device(World& world, Rank me);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+  ~Device();
+
+  Rank rank() const noexcept { return me_; }
+  int world_size() const;
+
+  /// Bind the rank's simulated process (set by World when the body starts).
+  void bind_process(sim::Process& proc) { proc_ = &proc; }
+
+  // ---- point-to-point ----
+  RequestPtr isend(Rank dst, Tag tag, std::span<const std::byte> data,
+                   SendMode mode = SendMode::standard);
+  RequestPtr irecv(Rank src, Tag tag, std::span<std::byte> buffer);
+  void wait(const RequestPtr& req);
+  bool test(const RequestPtr& req);
+  void progress();  ///< Non-blocking: drain the CQ, run protocol actions.
+
+  // ---- setup (World / on-demand) ----
+  /// Create this side's QP toward `peer` (not yet connected).
+  ib::QueuePair& create_endpoint(Rank peer);
+  /// Pre-post the initial credited pool + control reserve for `peer`.
+  void activate_endpoint(Rank peer);
+  bool has_endpoint(Rank peer) const { return endpoints_.count(peer) != 0; }
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  // ---- introspection ----
+  const DeviceStats& stats() const noexcept { return stats_; }
+  const flowctl::ConnectionFlow& flow(Rank peer) const;
+  const ib::QpStats& qp_stats(Rank peer) const;
+  std::vector<Rank> peers() const;
+
+ private:
+  struct Arena {
+    std::unique_ptr<std::vector<std::byte>> storage;
+    ib::MemoryRegionHandle mr;
+  };
+  struct RecvSlot {
+    std::byte* addr = nullptr;
+    std::uint32_t lkey = 0;
+  };
+  struct BacklogEntry {
+    WireHeader hdr;
+    std::vector<std::byte> payload;  // eager payload (empty for RTS)
+    RequestPtr eager_req;            // completes at dispatch (eager only)
+  };
+  struct Endpoint {
+    Rank peer = -1;
+    std::shared_ptr<ib::QueuePair> qp;
+    flowctl::ConnectionFlow flow;
+    std::deque<BacklogEntry> backlog;
+    std::vector<Arena> recv_arenas;
+    std::vector<RecvSlot> slots;  // index == recv wr_id
+    bool active = false;
+    /// A famine (optimistic) RTS is outstanding: its CTS has not arrived
+    /// yet. Throttles optimistic sends to one at a time per connection.
+    bool famine_rts_inflight = false;
+    explicit Endpoint(const flowctl::Config& cfg) : flow(cfg) {}
+  };
+  struct TxCtx {
+    bool is_rdma_write = false;
+    std::size_t bounce_slot = 0;   // !is_rdma_write
+    std::uint64_t rndv_id = 0;     // is_rdma_write
+  };
+  struct SendRndv {
+    Rank dst = -1;
+    std::span<const std::byte> data;
+    RequestPtr req;
+    ib::MemoryRegionHandle mr;
+    std::uint64_t rreq = 0;  // receiver's op id, learned from the CTS
+    /// For famine-converted eager messages: the payload copy the span
+    /// points into (the user's send already "completed" into the backlog).
+    std::vector<std::byte> owned_payload;
+  };
+  struct RecvRndv {
+    Rank src = -1;
+    Tag tag = 0;
+    std::byte* buffer = nullptr;
+    std::uint32_t bytes = 0;
+    RequestPtr req;
+    ib::MemoryRegionHandle mr;
+  };
+  struct CacheEntry {
+    std::byte* addr = nullptr;
+    std::size_t len = 0;
+    ib::MemoryRegionHandle mr;
+  };
+
+  Endpoint& ensure_endpoint(Rank peer);
+  Endpoint& endpoint_for_qp(ib::QpNumber qpn);
+
+  void handle_completion(const ib::Completion& wc);
+  void handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
+                      std::uint32_t byte_len);
+  void deliver_eager(Endpoint& ep, const WireHeader& hdr,
+                     const std::byte* payload);
+  void handle_rts(Endpoint& ep, const WireHeader& hdr);
+  void handle_cts(Endpoint& ep, const WireHeader& hdr);
+  void handle_fin(Endpoint& ep, const WireHeader& hdr);
+  void begin_recv_rndv(Rank src, Tag tag, std::uint64_t sreq,
+                       std::uint32_t bytes, std::byte* buffer,
+                       RequestPtr req);
+
+  /// Send a credited message now or enqueue it in the backlog.
+  void send_credited(Endpoint& ep, WireHeader hdr,
+                     std::span<const std::byte> payload, RequestPtr eager_req);
+  void drain_backlog(Endpoint& ep);
+  void send_ecm(Endpoint& ep);
+  /// Fill piggyback fields and post the wire message via a bounce buffer.
+  void post_wire(Endpoint& ep, WireHeader hdr,
+                 std::span<const std::byte> payload);
+
+  /// Start a rendezvous send (fresh or converted-from-eager).
+  void start_send_rndv(Endpoint& ep, Tag tag, std::span<const std::byte> data,
+                       RequestPtr req);
+
+  /// Under credit famine, dispatch the backlog head as an optimistic
+  /// (uncredited) rendezvous start so the handshake brings credits back.
+  void dispatch_famine_head(Endpoint& ep);
+
+  std::size_t acquire_bounce_slot();
+  void release_bounce_slot(std::size_t idx);
+  std::byte* bounce_addr(std::size_t idx);
+  std::uint32_t bounce_lkey(std::size_t idx);
+
+  void grow_recv_slots(Endpoint& ep, int count);
+  void post_slot(Endpoint& ep, std::size_t slot_idx);
+
+  /// Pin-down cache: returns a registration covering [addr, addr+len).
+  ib::MemoryRegionHandle pin(std::byte* addr, std::size_t len);
+  void charge(sim::Duration d);
+  void charge_copy(std::size_t bytes);
+
+  World& world_;
+  Rank me_;
+  sim::Process* proc_ = nullptr;
+  ib::Hca* hca_ = nullptr;
+  std::shared_ptr<ib::CompletionQueue> cq_;
+
+  std::map<Rank, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<ib::QpNumber, Rank> qp_to_peer_;
+
+  MatchQueue match_;
+
+  // Bounce-buffer pool for outgoing wire messages (headers + eager data).
+  std::vector<Arena> bounce_arenas_;
+  std::vector<RecvSlot> bounce_slots_;
+  std::vector<std::size_t> bounce_free_;
+
+  std::map<std::uint64_t, TxCtx> tx_;
+  std::uint64_t next_tx_id_ = 1;
+  std::map<std::uint64_t, SendRndv> send_rndv_;
+  std::map<std::uint64_t, RecvRndv> recv_rndv_;
+  std::uint64_t next_rndv_id_ = 1;
+
+  std::list<CacheEntry> reg_cache_;  // front = most recent
+
+  DeviceStats stats_;
+};
+
+}  // namespace mvflow::mpi

@@ -1,0 +1,30 @@
+#include "mpi/match.hpp"
+
+#include <algorithm>
+
+namespace mvflow::mpi {
+
+std::optional<PostedRecv> MatchQueue::match_inbound(Rank src, Tag tag) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(it->src, it->tag, src, tag)) {
+      PostedRecv pr = std::move(*it);
+      posted_.erase(it);
+      return pr;
+    }
+  }
+  max_unexpected_ = std::max(max_unexpected_, unexpected_.size() + 1);
+  return std::nullopt;
+}
+
+std::optional<UnexpectedMsg> MatchQueue::match_posted(Rank src, Tag tag) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(src, tag, it->src, it->tag)) {
+      UnexpectedMsg um = std::move(*it);
+      unexpected_.erase(it);
+      return um;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mvflow::mpi

@@ -1,0 +1,65 @@
+// Wire protocol between MPI devices, carried in the pre-posted 2 KB
+// buffers via IB send/recv (the paper's §3.1 design):
+//
+//   eager_data — small-message payload, pushed regardless of receiver state
+//   rndv_rts   — rendezvous start (unexpected, credited like eager_data)
+//   rndv_cts   — rendezvous reply carrying the pinned destination (control)
+//   rndv_fin   — rendezvous finish after the RDMA write (control)
+//   credit     — explicit credit message, ECM (control, optimistic)
+//
+// Every header carries a piggyback credit count and the went-through-
+// backlog bit (the dynamic scheme's feedback signal).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "mpi/types.hpp"
+
+namespace mvflow::mpi {
+
+enum class MsgKind : std::uint8_t {
+  eager_data,
+  rndv_rts,
+  rndv_cts,
+  rndv_fin,
+  credit,
+};
+
+/// True for the message classes that consume a flow-control credit (the
+/// paper's "unexpected" messages: Eager Data and Rendezvous Start).
+constexpr bool is_credited(MsgKind k) {
+  return k == MsgKind::eager_data || k == MsgKind::rndv_rts;
+}
+
+struct WireHeader {
+  MsgKind kind = MsgKind::eager_data;
+  std::uint8_t backlogged = 0;  ///< Went through the sender's backlog queue.
+  /// Sent without consuming a credit (optimistic famine RTS); the receiver
+  /// must not generate a return credit for it.
+  std::uint8_t optimistic = 0;
+  std::int32_t src_rank = -1;
+  std::int32_t tag = 0;
+  std::uint32_t payload_bytes = 0;  ///< Eager payload / rendezvous total size.
+  std::int32_t piggyback_credits = 0;
+  std::uint64_t sreq = 0;   ///< Sender-side rendezvous op id (rts/cts).
+  std::uint64_t rreq = 0;   ///< Receiver-side rendezvous op id (cts/fin).
+  std::uint64_t raddr = 0;  ///< cts: pinned destination address.
+  std::uint32_t rkey = 0;   ///< cts: destination rkey.
+};
+
+/// Bytes a header occupies on the wire (padded for alignment headroom).
+inline constexpr std::uint32_t kHeaderBytes = 64;
+static_assert(sizeof(WireHeader) <= kHeaderBytes);
+
+inline void write_header(std::byte* dst, const WireHeader& h) {
+  std::memcpy(dst, &h, sizeof(WireHeader));
+}
+
+inline WireHeader read_header(const std::byte* src) {
+  WireHeader h;
+  std::memcpy(&h, src, sizeof(WireHeader));
+  return h;
+}
+
+}  // namespace mvflow::mpi

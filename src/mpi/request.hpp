@@ -1,0 +1,40 @@
+// Nonblocking operation handles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mpi/types.hpp"
+
+namespace mvflow::mpi {
+
+enum class RequestKind : std::uint8_t { send, recv };
+
+/// One outstanding nonblocking operation. Created by Device::isend/irecv;
+/// completed by the progress engine; observed via wait/test.
+class Request {
+ public:
+  Request(RequestKind kind, std::uint64_t id) : kind_(kind), id_(id) {}
+
+  RequestKind kind() const noexcept { return kind_; }
+  std::uint64_t id() const noexcept { return id_; }
+  bool complete() const noexcept { return complete_; }
+  const Status& status() const noexcept { return status_; }
+
+  // Progress-engine side.
+  void mark_complete(const Status& st) {
+    status_ = st;
+    complete_ = true;
+  }
+  void mark_complete() { complete_ = true; }
+
+ private:
+  RequestKind kind_;
+  std::uint64_t id_;
+  bool complete_ = false;
+  Status status_;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace mvflow::mpi

@@ -1,0 +1,32 @@
+// Basic MPI-facing types for the mvflow mini-MPI.
+#pragma once
+
+#include <cstdint>
+
+namespace mvflow::mpi {
+
+using Rank = int;
+using Tag = int;
+
+/// Wildcards (match MPI semantics: any user tag must be >= 0; tags below
+/// kMinInternalTag are reserved for collectives).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+inline constexpr Tag kMinUserTag = 0;
+inline constexpr Tag kFirstInternalTag = -10;  // internal tags go downward
+
+/// MPI's four point-to-point communication modes (the paper's §3.1).
+/// Standard picks Eager/Rendezvous by size; Synchronous always handshakes
+/// (completes only once the receive matched); Buffered always copies
+/// through the eager path (must fit a pre-pinned buffer); Ready asserts
+/// the receive is already posted and pushes eagerly when it fits.
+enum class SendMode : std::uint8_t { standard, synchronous, buffered, ready };
+
+/// Completion information for a receive.
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::uint32_t bytes = 0;
+};
+
+}  // namespace mvflow::mpi

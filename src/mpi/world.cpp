@@ -1,0 +1,153 @@
+#include "mpi/world.hpp"
+
+#include <algorithm>
+
+#include "mpi/communicator.hpp"
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::mpi {
+
+std::uint64_t WorldStats::total_ecm() const {
+  std::uint64_t n = 0;
+  for (const auto& c : connections) n += c.flow.ecm_sent;
+  return n;
+}
+
+std::uint64_t WorldStats::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& c : connections) n += c.flow.total_messages();
+  return n;
+}
+
+std::uint64_t WorldStats::total_backlogged() const {
+  std::uint64_t n = 0;
+  for (const auto& c : connections) n += c.flow.backlog_entered;
+  return n;
+}
+
+std::uint64_t WorldStats::total_rnr_naks() const {
+  std::uint64_t n = 0;
+  for (const auto& c : connections) n += c.qp.rnr_naks_received;
+  return n;
+}
+
+std::uint64_t WorldStats::total_retransmitted_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& c : connections) n += c.qp.retransmitted_messages;
+  return n;
+}
+
+int WorldStats::max_posted_buffers() const {
+  int m = 0;
+  for (const auto& c : connections) m = std::max(m, c.flow.max_posted);
+  return m;
+}
+
+World::World(WorldConfig cfg) : cfg_(cfg) {
+  util::require(cfg_.num_ranks >= 1, "need at least one rank");
+  fabric_ = std::make_unique<ib::Fabric>(engine_, cfg_.fabric, cfg_.num_ranks);
+  devices_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
+  for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+    devices_.push_back(std::make_unique<Device>(*this, r));
+  }
+  if (!cfg_.on_demand_connections) {
+    // The paper's MPI sets up a reliable connection between every pair of
+    // processes during initialization.
+    for (Rank a = 0; a < cfg_.num_ranks; ++a) {
+      for (Rank b = a; b < cfg_.num_ranks; ++b) {
+        wire_pair(a, b);
+      }
+    }
+  }
+}
+
+World::~World() = default;
+
+void World::wire_pair(Rank a, Rank b) {
+  ib::QueuePair& qa = device(a).create_endpoint(b);
+  if (a == b) {
+    ib::Fabric::connect_loopback(qa);
+    device(a).activate_endpoint(b);
+    return;
+  }
+  ib::QueuePair& qb = device(b).create_endpoint(a);
+  ib::Fabric::connect(qa, qb);
+  device(a).activate_endpoint(b);
+  device(b).activate_endpoint(a);
+}
+
+sim::Duration World::run(const RankBody& body) {
+  std::vector<RankBody> bodies(static_cast<std::size_t>(cfg_.num_ranks), body);
+  return run(bodies);
+}
+
+sim::Duration World::run(const std::vector<RankBody>& bodies) {
+  util::check(!ran_, "World::run may only be called once");
+  util::require(static_cast<int>(bodies.size()) == cfg_.num_ranks,
+                "one body per rank required");
+  ran_ = true;
+
+  std::vector<sim::TimePoint> finish(static_cast<std::size_t>(cfg_.num_ranks));
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(bodies.size());
+  for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+    const auto& body = bodies[static_cast<std::size_t>(r)];
+    procs.push_back(std::make_unique<sim::Process>(
+        engine_, "rank" + std::to_string(r), [this, r, &body, &finish](sim::Process& p) {
+          Device& dev = device(r);
+          dev.bind_process(p);
+          Communicator comm(*this, dev, p);
+          body(comm);
+          finish[static_cast<std::size_t>(r)] = engine_.now();
+          // Finalize barrier (as MPI_Finalize implies): keeps every rank
+          // progressing until all are done, so trailing control messages
+          // (e.g. a last ECM) still find buffers and get consumed instead
+          // of spinning in hardware-level RNR retries forever.
+          if (cfg_.num_ranks > 1 && !cfg_.on_demand_connections) comm.barrier();
+        }));
+  }
+
+  // Safety net against modeled livelocks (e.g. infinite RNR retry against
+  // a stopped rank): bound the simulated time.
+  engine_.run_until(sim::TimePoint(cfg_.max_sim_time));
+  if (engine_.pending_events() > 0) {
+    throw DeadlockError("simulation exceeded max_sim_time (livelock?)");
+  }
+
+  std::string blocked;
+  for (const auto& p : procs) {
+    if (!p->finished()) {
+      if (!blocked.empty()) blocked += ", ";
+      blocked += p->name();
+    }
+  }
+  if (!blocked.empty()) {
+    procs.clear();  // kill + join the stuck ranks before throwing
+    throw DeadlockError("simulation drained with blocked ranks: " + blocked);
+  }
+
+  elapsed_ = sim::Duration::zero();
+  for (auto t : finish) elapsed_ = std::max(elapsed_, t);
+  return elapsed_;
+}
+
+WorldStats World::collect_stats() const {
+  WorldStats out;
+  out.elapsed = elapsed_;
+  out.fabric = fabric_->stats();
+  for (const auto& dev : devices_) {
+    out.devices.push_back(dev->stats());
+    for (Rank peer : dev->peers()) {
+      ConnectionReport cr;
+      cr.rank = dev->rank();
+      cr.peer = peer;
+      cr.flow = dev->flow(peer).counters();
+      cr.qp = dev->qp_stats(peer);
+      out.connections.push_back(cr);
+    }
+  }
+  return out;
+}
+
+}  // namespace mvflow::mpi

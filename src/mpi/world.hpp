@@ -1,0 +1,104 @@
+// World: builds the fabric, one device per rank, wires the RC connections
+// (eagerly, as the paper's MPI does at init, or on demand), runs one
+// simulated process per rank, and gathers the statistics the benchmarks
+// report.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flowctl/flowctl.hpp"
+#include "ib/config.hpp"
+#include "ib/fabric.hpp"
+#include "mpi/config.hpp"
+#include "mpi/device.hpp"
+#include "sim/engine.hpp"
+
+namespace mvflow::mpi {
+
+class Communicator;
+
+struct WorldConfig {
+  int num_ranks = 2;
+  flowctl::Config flow;
+  ib::FabricConfig fabric;
+  DeviceConfig device;
+  /// Lazily create connections on first communication (Wu et al. [23];
+  /// composes with the flow-control schemes).
+  bool on_demand_connections = false;
+
+  /// Upper bound on simulated time; exceeding it is reported as a deadlock
+  /// (protects against infinite hardware retry loops in the modeled system).
+  sim::Duration max_sim_time = sim::seconds(30);
+};
+
+/// Thrown when the simulation drains with ranks still blocked in MPI calls.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Per-connection report (one direction: `rank`'s endpoint toward `peer`).
+struct ConnectionReport {
+  Rank rank = -1;
+  Rank peer = -1;
+  flowctl::Counters flow;
+  ib::QpStats qp;
+};
+
+struct WorldStats {
+  sim::Duration elapsed{0};  ///< Max over ranks of body-finish time.
+  std::vector<ConnectionReport> connections;
+  std::vector<DeviceStats> devices;
+  ib::FabricStats fabric;
+
+  std::uint64_t total_ecm() const;
+  std::uint64_t total_messages() const;  ///< All MPI-level messages sent.
+  std::uint64_t total_backlogged() const;
+  std::uint64_t total_rnr_naks() const;
+  std::uint64_t total_retransmitted_messages() const;
+  int max_posted_buffers() const;  ///< Paper's Table 2 metric.
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  using RankBody = std::function<void(Communicator&)>;
+
+  /// Run the same body on every rank; returns elapsed simulated time
+  /// (max over ranks). May be called once per World.
+  sim::Duration run(const RankBody& body);
+
+  /// Run one body per rank.
+  sim::Duration run(const std::vector<RankBody>& bodies);
+
+  const WorldConfig& config() const noexcept { return cfg_; }
+  int num_ranks() const noexcept { return cfg_.num_ranks; }
+  sim::Engine& engine() noexcept { return engine_; }
+  ib::Fabric& fabric() noexcept { return *fabric_; }
+  Device& device(Rank r) { return *devices_.at(static_cast<std::size_t>(r)); }
+
+  /// Create and connect the endpoint pair between two ranks (both sides
+  /// activated). Used at init (eager mode) and by on-demand setup.
+  void wire_pair(Rank a, Rank b);
+
+  /// Collect per-connection / per-device / fabric statistics.
+  WorldStats collect_stats() const;
+
+ private:
+  WorldConfig cfg_;
+  sim::Engine engine_;
+  std::unique_ptr<ib::Fabric> fabric_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  sim::Duration elapsed_{0};
+  bool ran_ = false;
+};
+
+}  // namespace mvflow::mpi

@@ -1,0 +1,98 @@
+// Shared pieces for the BT/SP ADI proxies: square process grid and face
+// halo exchange for the stencil phase.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::nas {
+
+struct AdiGrid {
+  std::size_t nx = 32, ny = 32, nz = 8;  // global
+  int px = 0, py = 0;                     // process grid (square)
+  int pi = 0, pj = 0;
+  std::size_t nxl = 0, nyl = 0;           // local block (z is not split)
+  std::size_t gi0 = 0, gj0 = 0;
+
+  int rank_of(int i, int j) const { return j * px + i; }
+};
+
+inline AdiGrid make_adi_grid(int np, int rank) {
+  AdiGrid g;
+  const int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(np))));
+  util::check(side * side == np, "BT/SP require a square process count");
+  g.px = g.py = side;
+  g.pi = rank % side;
+  g.pj = rank / side;
+  util::check(g.nx % static_cast<std::size_t>(side) == 0 &&
+                  g.ny % static_cast<std::size_t>(side) == 0,
+              "ADI grid must divide the process grid");
+  g.nxl = g.nx / static_cast<std::size_t>(side);
+  g.nyl = g.ny / static_cast<std::size_t>(side);
+  g.gi0 = static_cast<std::size_t>(g.pi) * g.nxl;
+  g.gj0 = static_cast<std::size_t>(g.pj) * g.nyl;
+  return g;
+}
+
+/// Exchange the x- and y-direction boundary faces of `u` (ncomp values per
+/// cell) with the four lateral neighbors. Ghosts for missing neighbors are
+/// zeroed (Dirichlet). Faces are (nyl|nxl) x nz x ncomp doubles.
+/// `gw/ge/gs/gn` receive the neighbor faces.
+inline void adi_face_exchange(mpi::Communicator& comm, const AdiGrid& g,
+                              const std::vector<double>& u, std::size_t ncomp,
+                              std::vector<double>& gw, std::vector<double>& ge,
+                              std::vector<double>& gs, std::vector<double>& gn) {
+  const std::size_t nz = g.nz;
+  auto at = [&](std::size_t k, std::size_t j, std::size_t i, std::size_t c) {
+    return ((k * g.nyl + j) * g.nxl + i) * ncomp + c;
+  };
+  const std::size_t xface = g.nyl * nz * ncomp;
+  const std::size_t yface = g.nxl * nz * ncomp;
+  gw.assign(xface, 0.0);
+  ge.assign(xface, 0.0);
+  gs.assign(yface, 0.0);
+  gn.assign(yface, 0.0);
+  std::vector<double> sw(xface), se(xface), ss(yface), sn(yface);
+  std::size_t o = 0;
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < g.nyl; ++j)
+      for (std::size_t c = 0; c < ncomp; ++c) {
+        sw[o] = u[at(k, j, 0, c)];
+        se[o] = u[at(k, j, g.nxl - 1, c)];
+        ++o;
+      }
+  o = 0;
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t i = 0; i < g.nxl; ++i)
+      for (std::size_t c = 0; c < ncomp; ++c) {
+        ss[o] = u[at(k, 0, i, c)];
+        sn[o] = u[at(k, g.nyl - 1, i, c)];
+        ++o;
+      }
+
+  const mpi::Tag te = 401, tw = 402, tn = 403, ts = 404;
+  std::vector<mpi::RequestPtr> reqs;
+  if (g.pi > 0) {
+    reqs.push_back(comm.irecv_n(gw.data(), xface, g.rank_of(g.pi - 1, g.pj), te));
+    reqs.push_back(comm.isend_n(sw.data(), xface, g.rank_of(g.pi - 1, g.pj), tw));
+  }
+  if (g.pi + 1 < g.px) {
+    reqs.push_back(comm.irecv_n(ge.data(), xface, g.rank_of(g.pi + 1, g.pj), tw));
+    reqs.push_back(comm.isend_n(se.data(), xface, g.rank_of(g.pi + 1, g.pj), te));
+  }
+  if (g.pj > 0) {
+    reqs.push_back(comm.irecv_n(gs.data(), yface, g.rank_of(g.pi, g.pj - 1), tn));
+    reqs.push_back(comm.isend_n(ss.data(), yface, g.rank_of(g.pi, g.pj - 1), ts));
+  }
+  if (g.pj + 1 < g.py) {
+    reqs.push_back(comm.irecv_n(gn.data(), yface, g.rank_of(g.pi, g.pj + 1), ts));
+    reqs.push_back(comm.isend_n(sn.data(), yface, g.rank_of(g.pi, g.pj + 1), tn));
+  }
+  comm.wait_all(reqs);
+}
+
+}  // namespace mvflow::nas

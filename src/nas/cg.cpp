@@ -1,0 +1,129 @@
+// CG proxy: conjugate gradient on a banded symmetric positive-definite
+// system with a 1-D block row partition.
+//
+// Communication shape per iteration (matches NAS CG's character): small
+// halo exchanges with the ±1 neighbors for the SpMV (the band reaches
+// `kBand` rows into each neighbor) and two dot-product allreduces. The
+// pattern is symmetric, so piggybacking should carry all credit traffic.
+// Verified by the true residual ||b - Ax|| / ||b|| at the end.
+#include <cmath>
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "nas/common.hpp"
+#include "nas/kernel.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mvflow::nas {
+
+namespace {
+
+constexpr std::size_t kBand = 16;  // off-diagonal reach
+
+/// y = A x for the banded operator, using halo values of x.
+/// A = 8 I - sum_{d=1..kBand} (1/(d+1)) (E_d + E_{-d}); the off-diagonal
+/// weights sum to ~4.88 < 8, so A is strictly diagonally dominant and SPD
+/// with a small condition number (CG converges fast).
+void spmv(const std::vector<double>& x_with_halo, std::size_t n_local,
+          std::vector<double>& y) {
+  const double* x = x_with_halo.data() + kBand;  // interior start
+  for (std::size_t i = 0; i < n_local; ++i) {
+    double acc = 8.0 * x[i];
+    for (std::size_t d = 1; d <= kBand; ++d) {
+      const double w = -1.0 / static_cast<double>(d + 1);
+      acc += w * x[i - d] + w * x[i + d];  // halo makes these always valid
+    }
+    y[i] = acc;
+  }
+}
+
+/// Exchange kBand boundary values with both neighbors into the halo.
+void halo_exchange(mpi::Communicator& comm, std::vector<double>& x_with_halo,
+                   std::size_t n_local) {
+  const int np = comm.size();
+  const int me = comm.rank();
+  double* interior = x_with_halo.data() + kBand;
+  const mpi::Tag tag_up = 101, tag_dn = 102;
+
+  // Exchange with left (me-1) and right (me+1); edges see zero halos.
+  std::vector<mpi::RequestPtr> reqs;
+  if (me > 0) {
+    reqs.push_back(comm.irecv_n(x_with_halo.data(), kBand, me - 1, tag_dn));
+    reqs.push_back(comm.isend_n(interior, kBand, me - 1, tag_up));
+  }
+  if (me < np - 1) {
+    reqs.push_back(
+        comm.irecv_n(interior + n_local, kBand, me + 1, tag_up));
+    reqs.push_back(comm.isend_n(interior + n_local - kBand, kBand, me + 1, tag_dn));
+  }
+  comm.wait_all(reqs);
+}
+
+}  // namespace
+
+AppOutcome run_cg(mpi::Communicator& comm, const NasParams& p) {
+  const auto me = static_cast<std::size_t>(comm.rank());
+  const std::size_t n_local = static_cast<std::size_t>(2048) * p.scale;
+  const int iterations = p.iterations > 0 ? p.iterations : 25;
+
+  // b from a deterministic per-rank stream; solve A x = b from x = 0.
+  util::Xoshiro256 rng(p.seed * 77 + me);
+  std::vector<double> b(n_local);
+  for (auto& v : b) v = rng.uniform() - 0.5;
+
+  std::vector<double> x(n_local, 0.0);
+  std::vector<double> r = b;  // residual (x = 0)
+  std::vector<double> pdir = r;
+  std::vector<double> q(n_local, 0.0);
+  std::vector<double> p_halo(n_local + 2 * kBand, 0.0);
+
+  auto dot = [&](const std::vector<double>& a, const std::vector<double>& c) {
+    double acc = 0;
+    for (std::size_t i = 0; i < n_local; ++i) acc += a[i] * c[i];
+    return comm.allreduce_sum(acc);
+  };
+
+  double rho = dot(r, r);
+  const double b_norm = std::sqrt(dot(b, b));
+
+  for (int it = 0; it < iterations; ++it) {
+    std::copy(pdir.begin(), pdir.end(), p_halo.begin() + kBand);
+    halo_exchange(comm, p_halo, n_local);
+    spmv(p_halo, n_local, q);
+    charge_points(comm, p, n_local * kBand / 4);
+
+    const double alpha = rho / dot(pdir, q);
+    for (std::size_t i = 0; i < n_local; ++i) {
+      x[i] += alpha * pdir[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rho_new = dot(r, r);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (std::size_t i = 0; i < n_local; ++i) pdir[i] = r[i] + beta * pdir[i];
+    charge_points(comm, p, n_local);
+  }
+
+  // True residual check (verification; un-charged).
+  std::fill(p_halo.begin(), p_halo.end(), 0.0);
+  std::copy(x.begin(), x.end(), p_halo.begin() + kBand);
+  halo_exchange(comm, p_halo, n_local);
+  spmv(p_halo, n_local, q);
+  double local = 0;
+  for (std::size_t i = 0; i < n_local; ++i) {
+    const double d = b[i] - q[i];
+    local += d * d;
+  }
+  const double res = std::sqrt(comm.allreduce_sum(local)) / b_norm;
+
+  // CG on this operator contracts by ~0.35x per iteration (kappa ~ 4), so
+  // 0.6^iterations is a safely loose bound at any iteration count.
+  const double bound = std::pow(0.6, iterations);
+  AppOutcome out;
+  out.metric = res;
+  out.verified = verify_all(comm, res < bound && std::isfinite(res));
+  return out;
+}
+
+}  // namespace mvflow::nas

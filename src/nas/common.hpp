@@ -1,0 +1,24 @@
+// Shared helpers for the NAS proxy kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/communicator.hpp"
+#include "nas/kernel.hpp"
+
+namespace mvflow::nas {
+
+/// Charge simulated host time for `n` grid-point updates.
+inline void charge_points(mpi::Communicator& comm, const NasParams& p,
+                          std::size_t n) {
+  comm.compute(sim::Duration(
+      static_cast<std::int64_t>(p.compute_ns_per_point * static_cast<double>(n))));
+}
+
+/// Combine per-rank verification flags: true only if every rank verified.
+inline bool verify_all(mpi::Communicator& comm, bool local_ok) {
+  const std::int64_t sum = comm.allreduce_sum(local_ok ? std::int64_t{1} : 0);
+  return sum == comm.size();
+}
+
+}  // namespace mvflow::nas

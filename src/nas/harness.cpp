@@ -1,0 +1,71 @@
+#include "nas/kernel.hpp"
+
+#include "mpi/communicator.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::nas {
+
+std::string_view to_string(App app) {
+  switch (app) {
+    case App::is: return "IS";
+    case App::ft: return "FT";
+    case App::lu: return "LU";
+    case App::cg: return "CG";
+    case App::mg: return "MG";
+    case App::bt: return "BT";
+    case App::sp: return "SP";
+  }
+  return "?";
+}
+
+std::optional<App> parse_app(std::string_view name) {
+  if (name == "IS" || name == "is") return App::is;
+  if (name == "FT" || name == "ft") return App::ft;
+  if (name == "LU" || name == "lu") return App::lu;
+  if (name == "CG" || name == "cg") return App::cg;
+  if (name == "MG" || name == "mg") return App::mg;
+  if (name == "BT" || name == "bt") return App::bt;
+  if (name == "SP" || name == "sp") return App::sp;
+  return std::nullopt;
+}
+
+int default_ranks(App app) {
+  switch (app) {
+    case App::bt:
+    case App::sp:
+      return 16;  // square process counts (paper: 16 processes on 8 nodes)
+    default:
+      return 8;
+  }
+}
+
+KernelResult run_app(App app, mpi::WorldConfig wcfg, const NasParams& params) {
+  // num_ranks <= 1 means "use the paper's process count for this app".
+  if (wcfg.num_ranks <= 1) wcfg.num_ranks = default_ranks(app);
+  mpi::World world(wcfg);
+
+  AppOutcome outcome;
+  const auto elapsed = world.run([&](mpi::Communicator& comm) {
+    AppOutcome local;
+    switch (app) {
+      case App::is: local = run_is(comm, params); break;
+      case App::ft: local = run_ft(comm, params); break;
+      case App::lu: local = run_lu(comm, params); break;
+      case App::cg: local = run_cg(comm, params); break;
+      case App::mg: local = run_mg(comm, params); break;
+      case App::bt: local = run_bt(comm, params); break;
+      case App::sp: local = run_sp(comm, params); break;
+    }
+    if (comm.rank() == 0) outcome = local;
+  });
+
+  KernelResult result;
+  result.app = app;
+  result.verified = outcome.verified;
+  result.metric = outcome.metric;
+  result.elapsed = elapsed;
+  result.stats = world.collect_stats();
+  return result;
+}
+
+}  // namespace mvflow::nas

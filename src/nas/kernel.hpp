@@ -1,0 +1,80 @@
+// NAS Parallel Benchmark communication proxies (paper §6.3).
+//
+// Each kernel reproduces the *communication pattern* of its NAS namesake —
+// message sizes, fan-out, burstiness, symmetry — while carrying real data
+// through the full MPI/fabric stack and verifying a numerical invariant, so
+// a protocol bug surfaces as a verification failure rather than a skewed
+// statistic. Local computation runs for real (small grids) and additionally
+// charges simulated time via a per-point cost model, which is what sets the
+// compute/communicate ratio.
+//
+//   IS — bucket sort: histogram allreduce + alltoallv of keys (large,
+//        rendezvous-heavy), verified by global sortedness + key counts.
+//   FT — 3-D FFT: slab transposes via alltoall (32 KB-class blocks),
+//        verified by forward/inverse round-trip error.
+//   LU — SSOR wavefront: pipelined 2-D sweeps with many small eager
+//        messages and deep bursts (the paper's stress case), verified by
+//        residual reduction.
+//   CG — conjugate gradient on a banded SPD system: neighbor halo
+//        exchanges + dot-product allreduces, verified by residual norm.
+//   MG — multigrid V-cycles: halo exchanges at every level with shrinking
+//        message sizes, verified by residual reduction.
+//   BT/SP — ADI sweeps on a square process grid (16 ranks): pipelined line
+//        solves along both grid dimensions, verified against the
+//        tridiagonal/pentadiagonal line equations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mpi/world.hpp"
+
+namespace mvflow::nas {
+
+enum class App { is, ft, lu, cg, mg, bt, sp };
+
+std::string_view to_string(App app);
+std::optional<App> parse_app(std::string_view name);
+constexpr App kAllApps[] = {App::is, App::ft, App::lu, App::cg,
+                            App::mg, App::bt, App::sp};
+
+/// Ranks the paper ran each app on (8, except BT/SP which need a square
+/// process count and used 16).
+int default_ranks(App app);
+
+struct NasParams {
+  int iterations = 0;  ///< 0 = per-app default (scaled-down Class A shape).
+  int scale = 1;       ///< Grid scale multiplier (tests use 1).
+  std::uint64_t seed = 42;
+  /// Simulated host time charged per grid-point update.
+  double compute_ns_per_point = 1.0;
+};
+
+struct KernelResult {
+  App app = App::is;
+  bool verified = false;
+  double metric = 0.0;  ///< App-specific: residual, round-trip error, ...
+  sim::Duration elapsed{0};
+  mpi::WorldStats stats;
+};
+
+/// Run one kernel on a fresh World built from `wcfg` (num_ranks is
+/// overridden with default_ranks(app) when left at 0).
+KernelResult run_app(App app, mpi::WorldConfig wcfg, const NasParams& params);
+
+// Per-app entry points (used by run_app; exposed for targeted tests).
+// Each returns the rank-0 outcome {verified, metric} through the result.
+struct AppOutcome {
+  bool verified = false;
+  double metric = 0.0;
+};
+AppOutcome run_is(mpi::Communicator& comm, const NasParams& p);
+AppOutcome run_ft(mpi::Communicator& comm, const NasParams& p);
+AppOutcome run_lu(mpi::Communicator& comm, const NasParams& p);
+AppOutcome run_cg(mpi::Communicator& comm, const NasParams& p);
+AppOutcome run_mg(mpi::Communicator& comm, const NasParams& p);
+AppOutcome run_bt(mpi::Communicator& comm, const NasParams& p);
+AppOutcome run_sp(mpi::Communicator& comm, const NasParams& p);
+
+}  // namespace mvflow::nas

@@ -1,0 +1,73 @@
+#include "sim/condition.hpp"
+
+#include "util/check.hpp"
+
+namespace mvflow::sim {
+
+namespace {
+
+/// Marks a waiter abandoned if the wait unwinds (timeout or ProcessKilled)
+/// so notify_one never "spends" a wake-up on a dead waiter.
+struct WaiterGuard {
+  std::shared_ptr<void> raw;
+  bool* notified;
+  bool* abandoned;
+  ~WaiterGuard() {
+    if (!*notified) *abandoned = true;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<Condition::Waiter> Condition::enqueue(Process& p) {
+  auto w = std::make_shared<Waiter>();
+  w->wake = p.make_waker();
+  waiters_.push_back(w);
+  return w;
+}
+
+void Condition::wait(Process& p) {
+  ++p.sleep_epoch_;
+  auto w = enqueue(p);
+  WaiterGuard guard{w, &w->notified, &w->abandoned};
+  p.suspend();
+  util::check(w->notified, "condition wait woke without notification");
+}
+
+bool Condition::wait_for(Process& p, Duration timeout) {
+  ++p.sleep_epoch_;
+  auto w = enqueue(p);
+  auto timer_wake = p.make_waker();
+  auto handle = engine_.schedule_after(timeout, [w, timer_wake] {
+    if (w->notified || w->abandoned) return;
+    w->abandoned = true;
+    timer_wake();
+  });
+  WaiterGuard guard{w, &w->notified, &w->abandoned};
+  p.suspend();
+  handle.cancel();
+  return w->notified;
+}
+
+void Condition::notify_all() {
+  auto pending = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : pending) {
+    if (w->abandoned || w->notified) continue;
+    w->notified = true;
+    engine_.schedule_at(engine_.now(), [w] { w->wake(); });
+  }
+}
+
+void Condition::notify_one() {
+  while (!waiters_.empty()) {
+    auto w = waiters_.front();
+    waiters_.pop_front();
+    if (w->abandoned || w->notified) continue;
+    w->notified = true;
+    engine_.schedule_at(engine_.now(), [w] { w->wake(); });
+    return;
+  }
+}
+
+}  // namespace mvflow::sim

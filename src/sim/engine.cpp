@@ -1,0 +1,94 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace mvflow::sim {
+
+Engine::~Engine() = default;
+
+EventHandle Engine::schedule_at(TimePoint t, EventFn fn) {
+  util::require(t >= now_, "cannot schedule event in the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+EventHandle Engine::schedule_after(Duration d, EventFn fn) {
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Engine::dispatch_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we must copy the closure out before
+    // popping. Closures here are small (captured pointers), so this is cheap.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;
+    util::check(ev.t >= now_, "event queue went backwards");
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  util::check(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && dispatch_one()) ++n;
+  running_ = false;
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return n;
+}
+
+std::size_t Engine::run_until(TimePoint t) {
+  util::check(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
+    if (!dispatch_one()) break;
+    ++n;
+  }
+  now_ = std::max(now_, t);
+  running_ = false;
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return n;
+}
+
+std::vector<Process*> Engine::blocked_processes() const {
+  std::vector<Process*> out;
+  for (Process* p : processes_) {
+    if (!p->finished()) out.push_back(p);
+  }
+  return out;
+}
+
+void Engine::register_process(Process* p) { processes_.push_back(p); }
+
+void Engine::unregister_process(Process* p) {
+  processes_.erase(std::remove(processes_.begin(), processes_.end(), p),
+                   processes_.end());
+}
+
+void Engine::record_error(std::exception_ptr e) {
+  if (!first_error_) first_error_ = std::move(e);
+  stopped_ = true;
+}
+
+}  // namespace mvflow::sim

@@ -1,0 +1,104 @@
+// Discrete-event simulation engine.
+//
+// A single min-heap of (time, sequence) ordered events drives the whole
+// simulation. Everything that happens — packet hops, timer expiry, process
+// wake-ups — is an event; ties at equal times execute in scheduling order,
+// which makes runs bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mvflow::sim {
+
+class Process;
+
+/// Handle for a scheduled event; lets the scheduler cancel timers (e.g. an
+/// RNR retry that was satisfied early). Copyable; cancelling any copy
+/// cancels the event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  TimePoint now() const noexcept { return now_; }
+
+  using EventFn = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute simulated time `t` (must be >= now()).
+  EventHandle schedule_at(TimePoint t, EventFn fn);
+  /// Schedule `fn` to run `d` after the current time.
+  EventHandle schedule_after(Duration d, EventFn fn);
+
+  /// Run events until the queue is empty or stop() is called. Returns the
+  /// number of events executed. If a process body threw, the exception is
+  /// rethrown here after the engine stops.
+  std::size_t run();
+
+  /// Run events with time <= t; leaves later events queued. Advances now()
+  /// to t even if the queue drains early.
+  std::size_t run_until(TimePoint t);
+
+  /// Request that run() return at the next event boundary.
+  void stop() noexcept { stopped_ = true; }
+
+  std::size_t executed_events() const noexcept { return executed_; }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Processes register themselves; used to detect "simulation ended with
+  /// blocked processes" (a deadlock in the modeled system).
+  std::vector<Process*> blocked_processes() const;
+
+ private:
+  friend class Process;
+  void register_process(Process* p);
+  void unregister_process(Process* p);
+  void record_error(std::exception_ptr e);
+
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_one();  // pop + run one event; false if queue empty
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  bool stopped_ = false;
+  bool running_ = false;
+  std::vector<Process*> processes_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mvflow::sim

@@ -1,0 +1,90 @@
+#include "sim/process.hpp"
+
+#include "util/check.hpp"
+
+namespace mvflow::sim {
+
+Process::Process(Engine& engine, std::string name, Body body)
+    : engine_(engine), name_(std::move(name)) {
+  engine_.register_process(this);
+  thread_ = std::thread([this, b = std::move(body)]() mutable {
+    thread_main(std::move(b));
+  });
+  // First resume: enter the body at the current simulated time.
+  engine_.schedule_at(engine_.now(), [this] {
+    if (!finished_) resume_from_engine();
+  });
+}
+
+Process::~Process() {
+  if (!finished_) kill();
+  if (thread_.joinable()) thread_.join();
+  engine_.unregister_process(this);
+}
+
+void Process::thread_main(Body body) {
+  go_.acquire();  // wait for the first hand-off
+  if (!kill_requested_) {
+    started_ = true;
+    try {
+      body(*this);
+    } catch (const ProcessKilled&) {
+      // Normal teardown path: unwound by kill().
+    } catch (...) {
+      engine_.record_error(std::current_exception());
+    }
+  }
+  finished_ = true;
+  done_.release();
+}
+
+void Process::suspend() {
+  done_.release();
+  go_.acquire();
+  if (kill_requested_) throw ProcessKilled{};
+}
+
+void Process::resume_from_engine() {
+  if (finished_) return;
+  go_.release();
+  done_.acquire();
+  if (finished_ && thread_.joinable()) thread_.join();
+}
+
+std::function<void()> Process::make_waker() {
+  const auto epoch = sleep_epoch_;
+  return [this, epoch] {
+    if (finished_ || epoch != sleep_epoch_) return;  // stale wake: no-op
+    resume_from_engine();
+  };
+}
+
+void Process::delay(Duration d) {
+  util::require(d >= Duration::zero(), "negative delay");
+  ++sleep_epoch_;
+  engine_.schedule_after(d, make_waker());
+  suspend();
+}
+
+void Process::yield() {
+  ++sleep_epoch_;
+  engine_.schedule_at(engine_.now(), make_waker());
+  suspend();
+}
+
+void Process::kill() {
+  if (finished_) return;
+  if (std::this_thread::get_id() == thread_.get_id()) {
+    // A process killing itself: unwind directly.
+    kill_requested_ = true;
+    throw ProcessKilled{};
+  }
+  kill_requested_ = true;
+  ++sleep_epoch_;  // invalidate any pending wakers
+  go_.release();
+  done_.acquire();
+  util::check(finished_, "killed process did not finish");
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace mvflow::sim

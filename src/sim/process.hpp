@@ -1,0 +1,84 @@
+// Cooperative simulated processes.
+//
+// Each Process runs user code (an MPI rank body, a traffic generator) on its
+// own OS thread, but *exactly one* thread — the engine thread or one process
+// thread — executes at any moment. Control passes via a pair of binary
+// semaphores (the "token"). All blocking goes through the engine's event
+// queue, so execution order is fully determined by (time, sequence) and the
+// simulation is reproducible even though real threads are involved.
+//
+// Lifecycle: the constructor schedules the first resume at engine.now();
+// the body runs until it returns, throws, or is kill()ed (which unwinds the
+// body with ProcessKilled at its next suspension point).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace mvflow::sim {
+
+/// Thrown inside a process body when the process is killed; user code should
+/// let it propagate (RAII cleans up along the way).
+struct ProcessKilled {};
+
+class Process {
+ public:
+  using Body = std::function<void(Process&)>;
+
+  Process(Engine& engine, std::string name, Body body);
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  // ---- API callable only from inside this process's body ----
+
+  /// Advance simulated time by `d` (models compute or fixed overheads).
+  void delay(Duration d);
+
+  /// Reschedule at the current time, behind already-queued events. Lets
+  /// other ready work run first (a cooperative yield).
+  void yield();
+
+  // ---- API callable from engine context or other processes ----
+
+  /// Unwind the body with ProcessKilled at its next (or current) suspension
+  /// point. Safe to call on a finished process (no-op).
+  void kill();
+
+  Engine& engine() noexcept { return engine_; }
+  const std::string& name() const noexcept { return name_; }
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  friend class Engine;
+  friend class Condition;
+
+  /// A one-shot wake callback bound to the process's current sleep epoch;
+  /// invoking a stale waker (the process already woke for another reason)
+  /// is a harmless no-op. Wakes are delivered through the event queue.
+  std::function<void()> make_waker();
+
+  void suspend();            // release token, wait for next resume
+  void resume_from_engine(); // engine context: hand token over, wait for it back
+  void thread_main(Body body);
+
+  Engine& engine_;
+  std::string name_;
+  std::binary_semaphore go_{0};
+  std::binary_semaphore done_{0};
+  std::uint64_t sleep_epoch_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  bool kill_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mvflow::sim

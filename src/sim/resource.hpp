@@ -1,0 +1,41 @@
+// FIFO serialization resource: models a pipe (link, DMA engine, processing
+// unit) that serves one transfer at a time. Reservations are made from
+// event context and never block — the caller gets back the time its use
+// will start, and schedules downstream events from that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mvflow::sim {
+
+class Resource {
+ public:
+  Resource() = default;
+
+  /// Reserve the resource for `hold` starting no earlier than `earliest`.
+  /// Returns the actual start time (>= earliest, >= end of previous use).
+  TimePoint reserve(TimePoint earliest, Duration hold) {
+    const TimePoint start = std::max(earliest, busy_until_);
+    busy_until_ = start + hold;
+    total_busy_ += hold;
+    ++uses_;
+    return start;
+  }
+
+  /// Time at which the resource next becomes free.
+  TimePoint busy_until() const noexcept { return busy_until_; }
+
+  /// Aggregate busy time (for utilization reports).
+  Duration total_busy() const noexcept { return total_busy_; }
+  std::uint64_t uses() const noexcept { return uses_; }
+
+ private:
+  TimePoint busy_until_{0};
+  Duration total_busy_{0};
+  std::uint64_t uses_ = 0;
+};
+
+}  // namespace mvflow::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace mvflow::sim {
+
+std::string format_time(TimePoint t) {
+  char buf[48];
+  const auto ns = t.count();
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mvflow::sim

@@ -1,0 +1,42 @@
+// Lightweight runtime checks used across mvflow.
+//
+// `check()` is for conditions that indicate a programming error inside the
+// library (always on, throws `std::logic_error`); `require()` is for
+// validating caller-supplied arguments (throws `std::invalid_argument`).
+// Both keep the failure location so test output points at the right line.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mvflow::util {
+
+[[noreturn]] inline void fail(std::string_view kind, std::string_view what,
+                              const std::source_location& loc) {
+  std::string msg;
+  msg += kind;
+  msg += ": ";
+  msg += what;
+  msg += " at ";
+  msg += loc.file_name();
+  msg += ":";
+  msg += std::to_string(loc.line());
+  if (kind == "require") throw std::invalid_argument(msg);
+  throw std::logic_error(msg);
+}
+
+/// Internal-invariant check. Throws std::logic_error when `cond` is false.
+inline void check(bool cond, std::string_view what = "invariant violated",
+                  const std::source_location& loc = std::source_location::current()) {
+  if (!cond) fail("check", what, loc);
+}
+
+/// Argument-validation check. Throws std::invalid_argument when false.
+inline void require(bool cond, std::string_view what = "bad argument",
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) fail("require", what, loc);
+}
+
+}  // namespace mvflow::util

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mvflow::util {
+
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (!s) return LogLevel::off;
+  if (std::strcmp(s, "error") == 0) return LogLevel::error;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::warn;
+  if (std::strcmp(s, "info") == 0) return LogLevel::info;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::debug;
+  if (std::strcmp(s, "trace") == 0) return LogLevel::trace;
+  return LogLevel::off;
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::error: return "ERROR";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::info: return "INFO";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::trace: return "TRACE";
+    default: return "OFF";
+  }
+}
+
+LogLevel& level_storage() {
+  static LogLevel lvl = parse_level(std::getenv("MVFLOW_LOG"));
+  return lvl;
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return level_storage(); }
+
+void Logger::set_level(LogLevel lvl) { level_storage() = lvl; }
+
+void Logger::write(LogLevel lvl, std::string_view component,
+                   std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mvflow::util

@@ -1,0 +1,52 @@
+// Tiny leveled logger. Silent (Level::off) by default so the simulator's
+// hot paths cost nothing unless tracing is explicitly enabled (e.g. the
+// MVFLOW_LOG environment variable or Logger::set_level in tests).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mvflow::util {
+
+enum class LogLevel { off = 0, error = 1, warn = 2, info = 3, debug = 4, trace = 5 };
+
+class Logger {
+ public:
+  /// Global log level; reads MVFLOW_LOG (off/error/warn/info/debug/trace)
+  /// on first use.
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  static bool enabled(LogLevel lvl) { return lvl <= level(); }
+
+  /// Emit one line to stderr, prefixed with the level and component tag.
+  static void write(LogLevel lvl, std::string_view component,
+                    std::string_view message);
+};
+
+/// Streaming helper: LogLine(LogLevel::debug, "ib") << "qp " << qpn;
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view component)
+      : lvl_(lvl), component_(component), live_(Logger::enabled(lvl)) {}
+  ~LogLine() {
+    if (live_) Logger::write(lvl_, component_, oss_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (live_) oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string component_;
+  bool live_;
+  std::ostringstream oss_;
+};
+
+}  // namespace mvflow::util

@@ -1,0 +1,63 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mvflow::util {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        kv_.emplace(std::string(arg), "true");
+      } else {
+        kv_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> Options::get(const std::string& key) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Options::get_or(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Options::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (!used_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace mvflow::util

@@ -1,0 +1,36 @@
+// Minimal --key=value command-line option parsing for the bench binaries
+// and examples. Keeps the harnesses dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvflow::util {
+
+/// Parses argv of the form: prog --key=value --flag positional ...
+/// A bare "--flag" is stored with value "true".
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were supplied but never queried (catches typos in scripts).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mvflow::util

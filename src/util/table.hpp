@@ -1,0 +1,43 @@
+// Minimal fixed-column table printer for benchmark output.
+//
+// The bench binaries print each paper table/figure as an aligned text table
+// so the series can be eyeballed and diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mvflow::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into a row.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(std::size_t v) { return std::to_string(v); }
+  static std::string format_cell(int v) { return std::to_string(v); }
+  static std::string format_cell(long v) { return std::to_string(v); }
+  static std::string format_cell(long long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mvflow::util

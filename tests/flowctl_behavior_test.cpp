@@ -1,0 +1,238 @@
+// Integration tests of the three schemes' observable behaviour through the
+// full MPI + fabric stack: backlogs, ECM generation, rendezvous fallback,
+// dynamic growth, hardware RNR storms, and deadlock freedom at tiny pools.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "mpi/world.hpp"
+
+using namespace mvflow;
+using namespace mvflow::mpi;
+
+namespace {
+
+WorldConfig make_config(flowctl::Scheme scheme, int prepost) {
+  WorldConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.flow.scheme = scheme;
+  cfg.flow.prepost = prepost;
+  return cfg;
+}
+
+/// One-way flood: rank 0 fires `count` small nonblocking sends at rank 1,
+/// which only starts receiving after `rx_delay`.
+void one_way_flood(World& world, int count,
+                   sim::Duration rx_delay = sim::Duration::zero()) {
+  world.run([&, count, rx_delay](Communicator& comm) {
+    std::vector<std::int64_t> vals(static_cast<std::size_t>(count));
+    if (comm.rank() == 0) {
+      std::vector<RequestPtr> reqs;
+      for (int i = 0; i < count; ++i) {
+        vals[i] = i;
+        reqs.push_back(comm.isend_n(&vals[i], 1, 1, 0));
+      }
+      comm.wait_all(reqs);
+    } else {
+      if (rx_delay > sim::Duration::zero()) comm.compute(rx_delay);
+      for (int i = 0; i < count; ++i) {
+        std::int64_t v = -1;
+        comm.recv_n(&v, 1, 0, 0);
+        ASSERT_EQ(v, i) << "flood must arrive complete and in order";
+      }
+    }
+  });
+}
+
+}  // namespace
+
+TEST(StaticScheme, NoBacklogWithinCreditLimit) {
+  World world(make_config(flowctl::Scheme::user_static, 64));
+  one_way_flood(world, 32);
+  const auto stats = world.collect_stats();
+  EXPECT_EQ(stats.total_backlogged(), 0u);
+  EXPECT_EQ(stats.total_rnr_naks(), 0u);
+}
+
+TEST(StaticScheme, BacklogEngagesBeyondCredits) {
+  World world(make_config(flowctl::Scheme::user_static, 8));
+  one_way_flood(world, 64);
+  const auto stats = world.collect_stats();
+  EXPECT_GT(stats.total_backlogged(), 0u);
+  // User-level flow control means the hardware never has to intervene.
+  EXPECT_EQ(stats.total_rnr_naks(), 0u);
+}
+
+TEST(StaticScheme, FamineConvertsSmallSendsToRendezvous) {
+  World world(make_config(flowctl::Scheme::user_static, 4));
+  one_way_flood(world, 32);
+  EXPECT_GT(world.device(0).stats().small_converted_to_rndv, 0u)
+      << "paper 4.2: only Rendezvous is used when there are no credits";
+}
+
+TEST(StaticScheme, OneWayTrafficGeneratesEcms) {
+  World world(make_config(flowctl::Scheme::user_static, 8));
+  one_way_flood(world, 200);
+  const auto stats = world.collect_stats();
+  EXPECT_GT(stats.total_ecm(), 0u)
+      << "asymmetric pattern must fall back to explicit credit messages";
+}
+
+TEST(StaticScheme, SymmetricPingPongNeedsNoEcms) {
+  World world(make_config(flowctl::Scheme::user_static, 8));
+  world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf(16);
+    for (int i = 0; i < 200; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 0);
+        comm.recv(buf, 1, 0);
+      } else {
+        comm.recv(buf, 0, 0);
+        comm.send(buf, 0, 0);
+      }
+    }
+  });
+  const auto stats = world.collect_stats();
+  EXPECT_EQ(stats.total_ecm(), 0u)
+      << "piggybacking must carry all credit information (paper 4.2)";
+  EXPECT_EQ(stats.total_backlogged(), 0u);
+}
+
+TEST(StaticScheme, SurvivesPrepostOfOne) {
+  World world(make_config(flowctl::Scheme::user_static, 1));
+  one_way_flood(world, 50);  // would deadlock without the capped threshold
+  const auto stats = world.collect_stats();
+  EXPECT_GT(stats.total_ecm(), 0u);
+}
+
+TEST(DynamicScheme, GrowsPoolUnderFlood) {
+  World world(make_config(flowctl::Scheme::user_dynamic, 1));
+  one_way_flood(world, 100);
+  const auto stats = world.collect_stats();
+  EXPECT_GT(stats.max_posted_buffers(), 1) << "dynamic scheme must adapt";
+  std::uint64_t growth = 0;
+  for (const auto& c : stats.connections) growth += c.flow.growth_events;
+  EXPECT_GT(growth, 0u);
+}
+
+TEST(DynamicScheme, StaysSmallWhenTrafficIsLight) {
+  World world(make_config(flowctl::Scheme::user_dynamic, 4));
+  world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf(16);
+    for (int i = 0; i < 50; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 0);
+        comm.recv(buf, 1, 0);
+      } else {
+        comm.recv(buf, 0, 0);
+        comm.send(buf, 0, 0);
+      }
+    }
+  });
+  EXPECT_EQ(world.collect_stats().max_posted_buffers(), 4)
+      << "buffer efficiency: no growth without backlog pressure";
+}
+
+TEST(DynamicScheme, AdaptsFasterThanStaticUnderFlood) {
+  const int kCount = 200;
+  auto run_one = [&](flowctl::Scheme scheme) {
+    World world(make_config(scheme, 4));
+    one_way_flood(world, kCount);
+    return world.collect_stats().elapsed;
+  };
+  const auto t_static = run_one(flowctl::Scheme::user_static);
+  const auto t_dynamic = run_one(flowctl::Scheme::user_dynamic);
+  EXPECT_LT(t_dynamic.count(), t_static.count())
+      << "dynamic must beat static once the window exceeds the pool";
+}
+
+TEST(HardwareScheme, FloodTriggersRnrRetries) {
+  World world(make_config(flowctl::Scheme::hardware, 4));
+  one_way_flood(world, 100, sim::microseconds(100));
+  const auto stats = world.collect_stats();
+  EXPECT_GT(stats.total_rnr_naks(), 0u);
+  EXPECT_GT(stats.total_retransmitted_messages(), 0u);
+  EXPECT_EQ(stats.total_backlogged(), 0u) << "no MPI-level flow control";
+  EXPECT_EQ(stats.total_ecm(), 0u);
+}
+
+TEST(HardwareScheme, NoRnrWithEnoughBuffers) {
+  World world(make_config(flowctl::Scheme::hardware, 128));
+  one_way_flood(world, 100);
+  const auto stats = world.collect_stats();
+  EXPECT_EQ(stats.total_rnr_naks(), 0u);
+  EXPECT_EQ(stats.total_messages(),
+            world.collect_stats().total_messages());  // self-consistency
+}
+
+TEST(HardwareScheme, SurvivesPrepostOfOne) {
+  World world(make_config(flowctl::Scheme::hardware, 1));
+  one_way_flood(world, 50, sim::microseconds(50));
+  const auto stats = world.collect_stats();
+  EXPECT_GT(stats.total_rnr_naks(), 0u);
+}
+
+TEST(AllSchemes, IdenticalResultsAcrossSchemes) {
+  // The schemes must be invisible to correctness: same data, any scheme.
+  for (auto scheme : {flowctl::Scheme::hardware, flowctl::Scheme::user_static,
+                      flowctl::Scheme::user_dynamic}) {
+    World world(make_config(scheme, 2));
+    std::vector<double> received;
+    world.run([&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < 40; ++i) {
+          const double v = i * 1.5;
+          comm.send_n(&v, 1, 1, 0);
+        }
+      } else {
+        for (int i = 0; i < 40; ++i) {
+          double v = 0;
+          comm.recv_n(&v, 1, 0, 0);
+          received.push_back(v);
+        }
+      }
+    });
+    ASSERT_EQ(received.size(), 40u) << flowctl::to_string(scheme);
+    for (int i = 0; i < 40; ++i)
+      ASSERT_DOUBLE_EQ(received[i], i * 1.5) << flowctl::to_string(scheme);
+  }
+}
+
+TEST(AllSchemes, DeterministicElapsedTime) {
+  for (auto scheme : {flowctl::Scheme::hardware, flowctl::Scheme::user_static,
+                      flowctl::Scheme::user_dynamic}) {
+    auto run_one = [&] {
+      World world(make_config(scheme, 3));
+      one_way_flood(world, 60);
+      return world.collect_stats().elapsed;
+    };
+    EXPECT_EQ(run_one(), run_one()) << flowctl::to_string(scheme);
+  }
+}
+
+TEST(OnDemand, ConnectionsCreatedLazily) {
+  WorldConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.on_demand_connections = true;
+  World world(cfg);
+  world.run([&](Communicator& comm) {
+    // Only the 0 <-> 1 pair ever talks.
+    std::vector<std::byte> buf(8);
+    if (comm.rank() == 0) comm.send(buf, 1, 0);
+    if (comm.rank() == 1) comm.recv(buf, 0, 0);
+  });
+  EXPECT_EQ(world.device(0).endpoint_count(), 1u);
+  EXPECT_EQ(world.device(1).endpoint_count(), 1u);
+  EXPECT_EQ(world.device(2).endpoint_count(), 0u);
+  EXPECT_EQ(world.device(3).endpoint_count(), 0u);
+}
+
+TEST(OnDemand, EagerModeWiresAllPairs) {
+  WorldConfig cfg;
+  cfg.num_ranks = 4;
+  World world(cfg);
+  // Every rank has an endpoint to every rank including itself.
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(world.device(r).endpoint_count(), 4u);
+}

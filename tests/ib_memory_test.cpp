@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ib/memory.hpp"
+
+using namespace mvflow::ib;
+
+namespace {
+
+std::vector<std::byte> make_buf(std::size_t n) {
+  return std::vector<std::byte>(n);
+}
+
+}  // namespace
+
+TEST(MemoryRegistry, RegisterAssignsDistinctKeys) {
+  MemoryRegistry reg;
+  auto a = make_buf(64);
+  auto b = make_buf(64);
+  const auto ha = reg.register_region(a, Access::local_read);
+  const auto hb = reg.register_region(b, Access::local_read);
+  EXPECT_TRUE(ha.valid());
+  EXPECT_NE(ha.lkey, hb.lkey);
+  EXPECT_NE(ha.rkey, hb.rkey);
+  EXPECT_NE(ha.lkey, ha.rkey);
+  EXPECT_EQ(reg.region_count(), 2u);
+  EXPECT_EQ(reg.registered_bytes(), 128u);
+}
+
+TEST(MemoryRegistry, RejectsEmptyRegion) {
+  MemoryRegistry reg;
+  std::vector<std::byte> empty;
+  EXPECT_THROW(reg.register_region(empty, Access::local_read),
+               std::invalid_argument);
+}
+
+TEST(MemoryRegistry, LocalCheckEnforcesBounds) {
+  MemoryRegistry reg;
+  auto buf = make_buf(128);
+  const auto h = reg.register_region(buf, Access::local_read);
+  EXPECT_TRUE(reg.check_local(buf.data(), 128, h.lkey, Access::local_read));
+  EXPECT_TRUE(reg.check_local(buf.data() + 64, 64, h.lkey, Access::local_read));
+  // One byte past the end.
+  EXPECT_FALSE(reg.check_local(buf.data() + 64, 65, h.lkey, Access::local_read));
+  // Before the start.
+  EXPECT_FALSE(reg.check_local(buf.data() - 1, 4, h.lkey, Access::local_read));
+  // Wrong key.
+  EXPECT_FALSE(reg.check_local(buf.data(), 4, h.lkey + 999, Access::local_read));
+}
+
+TEST(MemoryRegistry, LocalCheckEnforcesAccessRights) {
+  MemoryRegistry reg;
+  auto buf = make_buf(64);
+  const auto h = reg.register_region(buf, Access::local_read);
+  EXPECT_TRUE(reg.check_local(buf.data(), 8, h.lkey, Access::local_read));
+  EXPECT_FALSE(reg.check_local(buf.data(), 8, h.lkey, Access::local_write));
+}
+
+TEST(MemoryRegistry, RemoteCheckUsesRkeyAndRights) {
+  MemoryRegistry reg;
+  auto buf = make_buf(256);
+  const auto h = reg.register_region(
+      buf, Access::local_read | Access::local_write | Access::remote_write);
+  EXPECT_TRUE(reg.check_remote(buf.data(), 256, h.rkey, Access::remote_write));
+  EXPECT_FALSE(reg.check_remote(buf.data(), 257, h.rkey, Access::remote_write));
+  EXPECT_FALSE(reg.check_remote(buf.data(), 8, h.rkey, Access::remote_read));
+  // lkey is not valid as an rkey.
+  EXPECT_FALSE(reg.check_remote(buf.data(), 8, h.lkey, Access::remote_write));
+}
+
+TEST(MemoryRegistry, DeregisterInvalidatesKeys) {
+  MemoryRegistry reg;
+  auto buf = make_buf(64);
+  const auto h = reg.register_region(buf, Access::local_read | Access::remote_read);
+  reg.deregister(h);
+  EXPECT_EQ(reg.region_count(), 0u);
+  EXPECT_EQ(reg.registered_bytes(), 0u);
+  EXPECT_FALSE(reg.check_local(buf.data(), 8, h.lkey, Access::local_read));
+  EXPECT_FALSE(reg.check_remote(buf.data(), 8, h.rkey, Access::remote_read));
+  EXPECT_THROW(reg.deregister(h), std::invalid_argument);
+}
+
+TEST(MemoryRegistry, FindRkeyReturnsRegionInfo) {
+  MemoryRegistry reg;
+  auto buf = make_buf(100);
+  const auto h = reg.register_region(buf, Access::remote_write);
+  const auto info = reg.find_rkey(h.rkey);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->base, buf.data());
+  EXPECT_EQ(info->length, 100u);
+  EXPECT_FALSE(reg.find_rkey(h.rkey + 12345).has_value());
+}

@@ -1,0 +1,148 @@
+// Unreliable Datagram transport: connectionless sends, silent drops, MTU
+// limit — the contrast with RC that motivates the paper's flow-control
+// study (and its §8 future work on other transport services).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "sim/engine.hpp"
+
+using namespace mvflow::ib;
+using namespace mvflow::sim;
+
+namespace {
+
+class UdFixture : public ::testing::Test {
+ protected:
+  UdFixture() : fabric_(engine_, FabricConfig{}, 3) {
+    for (int n = 0; n < 3; ++n) {
+      cq_[n] = fabric_.hca(n).create_cq();
+      qp_[n] = fabric_.hca(n).create_qp(cq_[n], cq_[n], QpType::ud);
+      buf_[n].assign(1 << 16, std::byte{0});
+      mr_[n] = fabric_.hca(n).register_memory(
+          buf_[n], Access::local_read | Access::local_write);
+    }
+  }
+
+  void post_recv(int node, std::uint64_t wr_id = 100) {
+    RecvWr wr;
+    wr.wr_id = wr_id;
+    wr.local_addr = buf_[node].data();
+    wr.length = 4096;
+    wr.lkey = mr_[node].lkey;
+    qp_[node]->post_recv(wr);
+  }
+
+  void send(int from, int to, std::uint32_t len, std::uint64_t wr_id = 1) {
+    for (std::uint32_t i = 0; i < len; ++i)
+      buf_[from][i] = static_cast<std::byte>(i * 7 + from);
+    SendWr wr;
+    wr.wr_id = wr_id;
+    wr.local_addr = buf_[from].data();
+    wr.length = len;
+    wr.lkey = mr_[from].lkey;
+    wr.dest_node = to;
+    wr.dest_qpn = qp_[to]->qpn();
+    qp_[from]->post_send(wr);
+  }
+
+  Engine engine_;
+  Fabric fabric_;
+  std::shared_ptr<CompletionQueue> cq_[3];
+  std::shared_ptr<QueuePair> qp_[3];
+  std::vector<std::byte> buf_[3];
+  MemoryRegionHandle mr_[3];
+};
+
+}  // namespace
+
+TEST_F(UdFixture, ConnectionlessDelivery) {
+  EXPECT_TRUE(qp_[0]->connected()) << "UD QPs are usable without a connection";
+  post_recv(1);
+  send(0, 1, 256);
+  engine_.run();
+
+  auto wc = cq_[1]->poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_TRUE(wc->ok());
+  EXPECT_EQ(wc->byte_len, 256u);
+  EXPECT_EQ(wc->src_qp, qp_[0]->qpn());
+  EXPECT_EQ(std::memcmp(buf_[1].data(), buf_[0].data(), 256), 0);
+  // Sender got a local completion (no ACK exists on UD).
+  auto swc = cq_[0]->poll();
+  ASSERT_TRUE(swc.has_value());
+  EXPECT_TRUE(swc->ok());
+}
+
+TEST_F(UdFixture, OneQpTalksToManyPeers) {
+  post_recv(1);
+  post_recv(2);
+  send(0, 1, 64, 11);
+  send(0, 2, 64, 12);
+  engine_.run();
+  EXPECT_FALSE(cq_[1]->empty());
+  EXPECT_FALSE(cq_[2]->empty());
+}
+
+TEST_F(UdFixture, NoBufferMeansSilentDropNotRetry) {
+  send(0, 1, 128);  // nothing posted at node 1
+  engine_.run();
+  EXPECT_TRUE(cq_[1]->empty());
+  EXPECT_EQ(qp_[1]->stats().packets_dropped, 1u);
+  EXPECT_EQ(qp_[1]->stats().rnr_naks_sent, 0u)
+      << "UD has no RNR NAK: drops are silent (contrast with RC)";
+  EXPECT_EQ(qp_[0]->stats().retransmitted_messages, 0u);
+  // A later receive does NOT resurrect the datagram.
+  post_recv(1);
+  engine_.run();
+  EXPECT_TRUE(cq_[1]->empty());
+}
+
+TEST_F(UdFixture, MtuLimitEnforced) {
+  post_recv(1);
+  EXPECT_THROW(send(0, 1, fabric_.config().mtu + 1), std::invalid_argument);
+  EXPECT_NO_THROW(send(0, 1, fabric_.config().mtu > 4096 ? 4096 : fabric_.config().mtu));
+}
+
+TEST_F(UdFixture, DestinationRequired) {
+  SendWr wr;
+  wr.local_addr = buf_[0].data();
+  wr.length = 8;
+  wr.lkey = mr_[0].lkey;
+  EXPECT_THROW(qp_[0]->post_send(wr), std::invalid_argument);  // dest_node=-1
+}
+
+TEST_F(UdFixture, BadLkeyCompletesWithErrorWithoutKillingQp) {
+  SendWr wr;
+  wr.wr_id = 9;
+  wr.local_addr = buf_[0].data();
+  wr.length = 8;
+  wr.lkey = mr_[0].lkey + 999;
+  wr.dest_node = 1;
+  wr.dest_qpn = qp_[1]->qpn();
+  qp_[0]->post_send(wr);
+  auto wc = cq_[0]->poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::local_protection_error);
+  // UD QP keeps working afterwards.
+  post_recv(1);
+  send(0, 1, 16);
+  engine_.run();
+  EXPECT_FALSE(cq_[1]->empty());
+}
+
+TEST_F(UdFixture, TruncationErrorsTheReceive) {
+  RecvWr wr;
+  wr.wr_id = 55;
+  wr.local_addr = buf_[1].data();
+  wr.length = 32;  // too small
+  wr.lkey = mr_[1].lkey;
+  qp_[1]->post_recv(wr);
+  send(0, 1, 128);
+  engine_.run();
+  auto wc = cq_[1]->poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::length_error);
+}

@@ -1,0 +1,220 @@
+// Device-layer internals observed through the public API: pin-down cache,
+// famine conversion accounting, unexpected-queue census, mixed protocol
+// ordering, statistics plumbing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "mpi/world.hpp"
+
+using namespace mvflow;
+using namespace mvflow::mpi;
+
+namespace {
+
+WorldConfig two_ranks(flowctl::Scheme scheme = flowctl::Scheme::user_static,
+                      int prepost = 16) {
+  WorldConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.flow.scheme = scheme;
+  cfg.flow.prepost = prepost;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RegCache, RepeatedRendezvousFromSameBufferHitsCache) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf(64 * 1024);
+    for (int i = 0; i < 10; ++i) {
+      if (comm.rank() == 0) comm.send(buf, 1, 0);
+      else comm.recv(buf, 0, 0);
+    }
+  });
+  const auto& s = world.device(0).stats();
+  EXPECT_EQ(s.reg_cache_misses, 1u) << "one pin for ten sends of one buffer";
+  EXPECT_EQ(s.reg_cache_hits, 9u);
+}
+
+TEST(RegCache, DisabledCacheRegistersEveryTime) {
+  WorldConfig cfg = two_ranks();
+  cfg.device.reg_cache = false;
+  World world(cfg);
+  world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf(64 * 1024);
+    for (int i = 0; i < 5; ++i) {
+      if (comm.rank() == 0) comm.send(buf, 1, 0);
+      else comm.recv(buf, 0, 0);
+    }
+  });
+  EXPECT_EQ(world.device(0).stats().reg_cache_misses, 5u);
+  EXPECT_EQ(world.device(0).stats().reg_cache_hits, 0u);
+}
+
+TEST(RegCache, PinCostShowsUpInSimulatedTime) {
+  auto run_once = [&](bool cache) {
+    WorldConfig cfg = two_ranks();
+    cfg.device.reg_cache = cache;
+    World world(cfg);
+    return world.run([&](Communicator& comm) {
+      std::vector<std::byte> buf(256 * 1024);
+      for (int i = 0; i < 8; ++i) {
+        if (comm.rank() == 0) comm.send(buf, 1, 0);
+        else comm.recv(buf, 0, 0);
+      }
+    });
+  };
+  const auto with_cache = run_once(true);
+  const auto without = run_once(false);
+  EXPECT_GT(without.count(), with_cache.count())
+      << "re-pinning every transfer must cost simulated time";
+}
+
+TEST(FamineConversion, CountsSmallSendsTurnedRendezvous) {
+  World world(two_ranks(flowctl::Scheme::user_static, 8));
+  world.run([&](Communicator& comm) {
+    std::vector<std::int64_t> vals(64);
+    std::iota(vals.begin(), vals.end(), 0);
+    if (comm.rank() == 0) {
+      std::vector<RequestPtr> reqs;
+      for (auto& v : vals) reqs.push_back(comm.isend_n(&v, 1, 1, 0));
+      comm.wait_all(reqs);
+    } else {
+      std::int64_t v;
+      for (int i = 0; i < 64; ++i) comm.recv_n(&v, 1, 0, 0);
+    }
+  });
+  const auto& s = world.device(0).stats();
+  EXPECT_GT(s.small_converted_to_rndv, 0u);
+  // Conversions also count as rendezvous starts and carry the optimistic bit.
+  EXPECT_GE(s.rndv_started, s.small_converted_to_rndv);
+  std::uint64_t optimistic = 0;
+  for (const auto& c : world.collect_stats().connections)
+    optimistic += c.flow.optimistic_rts;
+  EXPECT_GT(optimistic, 0u);
+}
+
+TEST(UnexpectedQueue, CensusTracksDepth) {
+  World world(two_ranks(flowctl::Scheme::hardware, 64));
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::int64_t v = 7;
+      for (int i = 0; i < 30; ++i) comm.send_n(&v, 1, 1, i);
+    } else {
+      comm.compute(sim::microseconds(200));  // let all 30 arrive unexpected
+      std::int64_t v;
+      // Drain in reverse-tag order so every message waits in the queue.
+      for (int i = 29; i >= 0; --i) comm.recv_n(&v, 1, 0, i);
+    }
+  });
+  EXPECT_GE(world.device(1).stats().max_unexpected, 30u);
+}
+
+TEST(MixedProtocols, EagerAndRendezvousInterleaveInOrder) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    const std::size_t big = 100 * 1024;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 6; ++i) {
+        if (i % 2 == 0) {
+          const std::int64_t v = i;
+          comm.send_n(&v, 1, 1, 0);  // eager
+        } else {
+          std::vector<double> payload(big / sizeof(double), i * 1.0);
+          comm.send(std::as_bytes(std::span<const double>(payload)), 1, 0);
+        }
+      }
+    } else {
+      comm.compute(sim::microseconds(50));
+      for (int i = 0; i < 6; ++i) {
+        if (i % 2 == 0) {
+          std::int64_t v = -1;
+          comm.recv_n(&v, 1, 0, 0);
+          EXPECT_EQ(v, i) << "same-tag messages must match in send order";
+        } else {
+          std::vector<double> payload(big / sizeof(double));
+          comm.recv(std::as_writable_bytes(std::span<double>(payload)), 0, 0);
+          EXPECT_DOUBLE_EQ(payload[0], i * 1.0);
+          EXPECT_DOUBLE_EQ(payload.back(), i * 1.0);
+        }
+      }
+    }
+  });
+}
+
+TEST(Requests, TestPollsWithoutBlocking) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(sim::microseconds(40));
+      const std::int64_t v = 11;
+      comm.send_n(&v, 1, 1, 0);
+    } else {
+      std::int64_t v = 0;
+      auto req = comm.irecv_n(&v, 1, 0, 0);
+      int polls = 0;
+      while (!comm.test(req)) {
+        ++polls;
+        comm.compute(sim::microseconds(1));
+      }
+      EXPECT_GT(polls, 5) << "message only lands after ~40us of polling";
+      EXPECT_EQ(v, 11);
+    }
+  });
+}
+
+TEST(WorldStats, ConnectionReportsCoverAllPairs) {
+  WorldConfig cfg;
+  cfg.num_ranks = 4;
+  World world(cfg);
+  world.run([](Communicator& comm) { comm.barrier(); });
+  const auto stats = world.collect_stats();
+  // 4 ranks x 4 endpoints each (including self).
+  EXPECT_EQ(stats.connections.size(), 16u);
+  EXPECT_EQ(stats.devices.size(), 4u);
+  EXPECT_GT(stats.fabric.data_packets, 0u);
+  EXPECT_GT(stats.elapsed.count(), 0);
+  for (const auto& c : stats.connections) {
+    EXPECT_GE(c.rank, 0);
+    EXPECT_LT(c.rank, 4);
+    EXPECT_GE(c.peer, 0);
+    EXPECT_LT(c.peer, 4);
+  }
+}
+
+TEST(WorldStats, CreditedMessageAccountingConsistent) {
+  World world(two_ranks(flowctl::Scheme::user_static, 4));
+  world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf(32);
+    for (int i = 0; i < 50; ++i) {
+      if (comm.rank() == 0) comm.send(buf, 1, 0);
+      else comm.recv(buf, 0, 0);
+    }
+  });
+  const auto stats = world.collect_stats();
+  for (const auto& c : stats.connections) {
+    EXPECT_EQ(c.flow.backlog_entered, c.flow.backlog_dispatched)
+        << "everything backlogged must eventually dispatch";
+    EXPECT_GE(c.flow.credited_sent,
+              c.flow.backlog_dispatched);
+  }
+}
+
+TEST(WorldLifecycle, RunTwiceIsRejected) {
+  World world(two_ranks());
+  world.run([](Communicator&) {});
+  EXPECT_THROW(world.run([](Communicator&) {}), std::logic_error);
+}
+
+TEST(WorldLifecycle, BodyExceptionPropagates) {
+  World world(two_ranks());
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("app bug");
+                 std::vector<std::byte> b(8);
+                 comm.recv(b, 1, 0);
+               }),
+               std::runtime_error);
+}

@@ -1,0 +1,272 @@
+// Point-to-point MPI semantics over the simulated fabric: blocking and
+// nonblocking transfers, tag matching, wildcards, ordering, eager vs
+// rendezvous, self-sends.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "mpi/world.hpp"
+
+using namespace mvflow;
+using namespace mvflow::mpi;
+
+namespace {
+
+WorldConfig two_ranks(flowctl::Scheme scheme = flowctl::Scheme::user_static,
+                      int prepost = 32) {
+  WorldConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.flow.scheme = scheme;
+  cfg.flow.prepost = prepost;
+  return cfg;
+}
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 131 + seed * 17) & 0xff);
+  return v;
+}
+
+}  // namespace
+
+TEST(Pt2Pt, BlockingSendRecvSmall) {
+  World world(two_ranks());
+  const auto data = pattern(64);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(data, 1, 5);
+    } else {
+      std::vector<std::byte> buf(64);
+      const Status st = comm.recv(buf, 0, 5);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.bytes, 64u);
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Pt2Pt, LargeMessageUsesRendezvous) {
+  World world(two_ranks());
+  const auto data = pattern(256 * 1024);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(data, 1, 0);
+    } else {
+      std::vector<std::byte> buf(256 * 1024);
+      const Status st = comm.recv(buf, 0, 0);
+      EXPECT_EQ(st.bytes, 256u * 1024);
+      EXPECT_EQ(buf, data);
+    }
+  });
+  EXPECT_EQ(world.device(0).stats().rndv_started, 1u);
+  // The only eager traffic is the finalize barrier's token.
+  EXPECT_EQ(world.device(0).stats().eager_sent, 1u);
+}
+
+TEST(Pt2Pt, EagerThresholdBoundary) {
+  World world(two_ranks());
+  const auto max_eager = world.config().device.eager_max_payload();
+  const auto small = pattern(max_eager, 3);
+  const auto big = pattern(max_eager + 1, 4);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(small, 1, 1);
+      comm.send(big, 1, 2);
+    } else {
+      std::vector<std::byte> b1(max_eager), b2(max_eager + 1);
+      comm.recv(b1, 0, 1);
+      comm.recv(b2, 0, 2);
+      EXPECT_EQ(b1, small);
+      EXPECT_EQ(b2, big);
+    }
+  });
+  // One user eager message plus the finalize barrier's token.
+  EXPECT_EQ(world.device(0).stats().eager_sent, 2u);
+  EXPECT_EQ(world.device(0).stats().rndv_started, 1u);
+}
+
+TEST(Pt2Pt, ZeroByteMessages) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send({}, 1, 7);
+    } else {
+      const Status st = comm.recv({}, 0, 7);
+      EXPECT_EQ(st.bytes, 0u);
+    }
+  });
+}
+
+TEST(Pt2Pt, UnexpectedMessagesMatchInArrivalOrder) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        const double v = 10.0 + i;
+        comm.send_n(&v, 1, 1, 3);  // same tag, five messages
+      }
+    } else {
+      comm.compute(sim::microseconds(200));  // let them all arrive unexpected
+      for (int i = 0; i < 5; ++i) {
+        double v = 0;
+        comm.recv_n(&v, 1, 0, 3);
+        EXPECT_DOUBLE_EQ(v, 10.0 + i) << "FIFO order between a pair";
+      }
+    }
+  });
+}
+
+TEST(Pt2Pt, TagSelectsAmongPending) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::int64_t a = 111, b = 222;
+      comm.send_n(&a, 1, 1, 10);
+      comm.send_n(&b, 1, 1, 20);
+    } else {
+      comm.compute(sim::microseconds(100));
+      std::int64_t v = 0;
+      comm.recv_n(&v, 1, 0, 20);  // pick the second by tag
+      EXPECT_EQ(v, 222);
+      comm.recv_n(&v, 1, 0, 10);
+      EXPECT_EQ(v, 111);
+    }
+  });
+}
+
+TEST(Pt2Pt, AnySourceAndAnyTagWildcards) {
+  WorldConfig cfg;
+  cfg.num_ranks = 3;
+  World world(cfg);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      int got_from[2] = {0, 0};
+      for (int i = 0; i < 2; ++i) {
+        std::int64_t v = 0;
+        const Status st = comm.recv_n(&v, 1, kAnySource, kAnyTag);
+        EXPECT_EQ(v, 1000 + st.source);
+        got_from[st.source - 1] = 1;
+      }
+      EXPECT_EQ(got_from[0] + got_from[1], 2);
+    } else {
+      const std::int64_t v = 1000 + comm.rank();
+      comm.send_n(&v, 1, 0, comm.rank());
+    }
+  });
+}
+
+TEST(Pt2Pt, NonblockingOverlap) {
+  World world(two_ranks());
+  const auto data = pattern(100000, 9);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.isend(data, 1, 0);
+      comm.compute(sim::microseconds(50));  // overlap with the transfer
+      comm.wait(req);
+    } else {
+      std::vector<std::byte> buf(100000);
+      auto req = comm.irecv(buf, 0, 0);
+      comm.compute(sim::microseconds(50));
+      comm.wait(req);
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Pt2Pt, WaitAllManyInFlight) {
+  World world(two_ranks(flowctl::Scheme::user_static, 64));
+  constexpr int kN = 32;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::int64_t> vals(kN);
+      std::iota(vals.begin(), vals.end(), 0);
+      std::vector<RequestPtr> reqs;
+      for (int i = 0; i < kN; ++i)
+        reqs.push_back(comm.isend_n(&vals[i], 1, 1, i));
+      comm.wait_all(reqs);
+    } else {
+      std::vector<std::int64_t> out(kN, -1);
+      std::vector<RequestPtr> reqs;
+      for (int i = 0; i < kN; ++i)
+        reqs.push_back(comm.irecv_n(&out[i], 1, 0, i));
+      comm.wait_all(reqs);
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(out[i], i);
+    }
+  });
+}
+
+TEST(Pt2Pt, SendToSelfViaLoopback) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    if (comm.rank() != 0) return;
+    const auto data = pattern(512, 6);
+    std::vector<std::byte> buf(512);
+    auto rreq = comm.irecv(buf, 0, 42);
+    auto sreq = comm.isend(data, 0, 42);
+    comm.wait(sreq);
+    comm.wait(rreq);
+    EXPECT_EQ(buf, data);
+  });
+}
+
+TEST(Pt2Pt, SendrecvExchangesBothWays) {
+  World world(two_ranks());
+  world.run([&](Communicator& comm) {
+    const double mine = 1.5 + comm.rank();
+    double theirs = 0;
+    const Rank other = 1 - comm.rank();
+    comm.sendrecv(std::as_bytes(std::span<const double>(&mine, 1)), other, 0,
+                  std::as_writable_bytes(std::span<double>(&theirs, 1)), other, 0);
+    EXPECT_DOUBLE_EQ(theirs, 1.5 + other);
+  });
+}
+
+TEST(Pt2Pt, PingPongLatencyInPaperRegime) {
+  World world(two_ranks());
+  constexpr int kIters = 100;
+  const auto elapsed = world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf(4);
+    for (int i = 0; i < kIters; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 0);
+        comm.recv(buf, 1, 0);
+      } else {
+        comm.recv(buf, 0, 0);
+        comm.send(buf, 0, 0);
+      }
+    }
+  });
+  const double one_way_us = sim::to_us(elapsed) / (2.0 * kIters);
+  // The paper's send/recv-based MPI: small-message latency in the
+  // handful-to-teens of microseconds.
+  EXPECT_GT(one_way_us, 3.0);
+  EXPECT_LT(one_way_us, 25.0);
+}
+
+TEST(Pt2Pt, DeadlockDetected) {
+  World world(two_ranks());
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 std::vector<std::byte> buf(8);
+                 comm.recv(buf, 1 - comm.rank(), 0);  // both recv, nobody sends
+               }),
+               DeadlockError);
+}
+
+TEST(Pt2Pt, TruncationIsAnError) {
+  World world(two_ranks());
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   const auto data = pattern(128);
+                   comm.send(data, 1, 0);
+                 } else {
+                   std::vector<std::byte> tiny(16);
+                   comm.recv(tiny, 0, 0);
+                 }
+               }),
+               std::invalid_argument);
+}

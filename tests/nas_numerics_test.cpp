@@ -1,0 +1,100 @@
+// Numerical spot checks of the NAS proxies beyond their built-in
+// verification: cross-scheme metric equality (flow control must never
+// change answers), scale/iteration behaviour, and census expectations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nas/kernel.hpp"
+
+using namespace mvflow;
+using namespace mvflow::nas;
+
+namespace {
+
+KernelResult quick(App app, flowctl::Scheme scheme, int prepost, int iters = 2,
+                   std::uint64_t seed = 42) {
+  mpi::WorldConfig cfg;
+  cfg.num_ranks = 0;
+  cfg.flow.scheme = scheme;
+  cfg.flow.prepost = prepost;
+  NasParams p;
+  p.iterations = iters;
+  p.seed = seed;
+  return run_app(app, cfg, p);
+}
+
+}  // namespace
+
+TEST(NasNumerics, MetricsIdenticalAcrossSchemes) {
+  // The metric is a pure function of the math; buffers and schemes must
+  // not leak into it.
+  for (App app : kAllApps) {
+    const auto a = quick(app, flowctl::Scheme::hardware, 100);
+    const auto b = quick(app, flowctl::Scheme::user_static, 4);
+    const auto c = quick(app, flowctl::Scheme::user_dynamic, 1);
+    EXPECT_EQ(a.metric, b.metric) << to_string(app);
+    EXPECT_EQ(a.metric, c.metric) << to_string(app);
+    EXPECT_TRUE(a.verified && b.verified && c.verified) << to_string(app);
+  }
+}
+
+TEST(NasNumerics, SeedChangesIsAndFtData) {
+  const auto a = quick(App::is, flowctl::Scheme::user_static, 100, 2, 1);
+  const auto b = quick(App::is, flowctl::Scheme::user_static, 100, 2, 2);
+  EXPECT_TRUE(a.verified && b.verified);
+  // IS metric counts sorted keys: equal totals. FT differs per seed.
+  const auto fa = quick(App::ft, flowctl::Scheme::user_static, 100, 2, 1);
+  const auto fb = quick(App::ft, flowctl::Scheme::user_static, 100, 2, 2);
+  EXPECT_TRUE(fa.verified && fb.verified);
+  EXPECT_LT(fa.metric, 1e-9);
+  EXPECT_LT(fb.metric, 1e-9);
+}
+
+TEST(NasNumerics, CgResidualShrinksWithIterations) {
+  const auto few = quick(App::cg, flowctl::Scheme::user_static, 100, 4);
+  const auto many = quick(App::cg, flowctl::Scheme::user_static, 100, 16);
+  EXPECT_LT(many.metric, few.metric);
+  EXPECT_LT(many.metric, 1e-6);
+}
+
+TEST(NasNumerics, MgResidualRatioShrinksWithCycles) {
+  const auto few = quick(App::mg, flowctl::Scheme::user_static, 100, 2);
+  const auto many = quick(App::mg, flowctl::Scheme::user_static, 100, 5);
+  EXPECT_LT(many.metric, few.metric);
+  EXPECT_LT(many.metric, 0.05);
+}
+
+TEST(NasNumerics, LuChecksumFiniteAndIterationDependent) {
+  const auto a = quick(App::lu, flowctl::Scheme::user_static, 100, 2);
+  const auto b = quick(App::lu, flowctl::Scheme::user_static, 100, 4);
+  EXPECT_TRUE(std::isfinite(a.metric));
+  EXPECT_NE(a.metric, b.metric);
+}
+
+TEST(NasCensus, RendezvousHeavyAppsMoveMostBytesByRdma) {
+  // FT's transposes are large: the fabric must carry far more data bytes
+  // than the MPI message count suggests (RDMA payloads, not eager copies).
+  const auto ft = quick(App::ft, flowctl::Scheme::user_static, 100, 3);
+  EXPECT_GT(ft.stats.fabric.wire_bytes,
+            ft.stats.total_messages() * 2048)
+      << "bulk payload must dwarf the 2KB control-buffer traffic";
+}
+
+TEST(NasCensus, LuIsSmallMessageDominated) {
+  const auto lu = quick(App::lu, flowctl::Scheme::user_static, 100, 3);
+  const double bytes_per_msg =
+      static_cast<double>(lu.stats.fabric.wire_bytes) /
+      static_cast<double>(lu.stats.total_messages());
+  EXPECT_LT(bytes_per_msg, 512.0) << "LU's traffic is boundary lines";
+}
+
+TEST(NasCensus, HardwareAndUserLevelSendSameDataMessages) {
+  // Scheme changes control traffic (ECMs), never data traffic.
+  const auto hw = quick(App::cg, flowctl::Scheme::hardware, 100, 3);
+  const auto st = quick(App::cg, flowctl::Scheme::user_static, 100, 3);
+  std::uint64_t hw_credited = 0, st_credited = 0;
+  for (const auto& c : hw.stats.connections) hw_credited += c.flow.credited_sent;
+  for (const auto& c : st.stats.connections) st_credited += c.flow.credited_sent;
+  EXPECT_EQ(hw_credited, st_credited);
+}

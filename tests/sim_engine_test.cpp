@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+using namespace mvflow::sim;
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(TimePoint(30), [&] { order.push_back(3); });
+  eng.schedule_at(TimePoint(10), [&] { order.push_back(1); });
+  eng.schedule_at(TimePoint(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), TimePoint(30));
+}
+
+TEST(Engine, TieBreaksByScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    eng.schedule_at(TimePoint(100), [&order, i] { order.push_back(i); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedSchedulingFromCallbacks) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(TimePoint(10), [&] {
+    order.push_back(1);
+    eng.schedule_after(Duration(5), [&] { order.push_back(2); });
+  });
+  eng.schedule_at(TimePoint(12), [&] { order.push_back(10); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2}));
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine eng;
+  eng.schedule_at(TimePoint(10), [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(TimePoint(5), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool ran = false;
+  auto h = eng.schedule_at(TimePoint(10), [&] { ran = true; });
+  h.cancel();
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.executed_events(), 0u);
+}
+
+TEST(Engine, CancelAfterExecutionIsHarmless) {
+  Engine eng;
+  bool ran = false;
+  auto h = eng.schedule_at(TimePoint(10), [&] { ran = true; });
+  eng.run();
+  EXPECT_TRUE(ran);
+  h.cancel();  // no-op
+}
+
+TEST(Engine, StopHaltsAtEventBoundary) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    eng.schedule_at(TimePoint(i), [&] {
+      if (++count == 3) eng.stop();
+    });
+  eng.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(eng.pending_events(), 7u);
+}
+
+TEST(Engine, RunUntilLeavesLaterEvents) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(TimePoint(10), [&] { order.push_back(1); });
+  eng.schedule_at(TimePoint(20), [&] { order.push_back(2); });
+  eng.schedule_at(TimePoint(30), [&] { order.push_back(3); });
+  eng.run_until(TimePoint(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), TimePoint(20));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilAdvancesClockOnEmptyQueue) {
+  Engine eng;
+  eng.run_until(TimePoint(1000));
+  EXPECT_EQ(eng.now(), TimePoint(1000));
+}
+
+TEST(Resource, SerializesOverlappingReservations) {
+  Resource r;
+  EXPECT_EQ(r.reserve(TimePoint(0), Duration(10)), TimePoint(0));
+  // Requested at t=5 but the resource is busy until 10.
+  EXPECT_EQ(r.reserve(TimePoint(5), Duration(10)), TimePoint(10));
+  // Requested well after it is free: starts on request.
+  EXPECT_EQ(r.reserve(TimePoint(100), Duration(5)), TimePoint(100));
+  EXPECT_EQ(r.busy_until(), TimePoint(105));
+  EXPECT_EQ(r.total_busy(), Duration(25));
+  EXPECT_EQ(r.uses(), 3u);
+}
+
+TEST(Time, TransferTimeRoundsUp) {
+  // 1000 bytes at 1 GB/s = 1000 ns (+1 for the ceiling).
+  EXPECT_EQ(transfer_time(1000, 1e9).count(), 1001);
+  EXPECT_GT(transfer_time(1, 1e12).count(), 0);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(TimePoint(500)), "500ns");
+  EXPECT_EQ(format_time(TimePoint(12'345)), "12.345us");
+  EXPECT_EQ(format_time(TimePoint(12'345'678)), "12.346ms");
+}

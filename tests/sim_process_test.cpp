@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+using namespace mvflow::sim;
+
+TEST(Process, DelayAdvancesSimulatedTime) {
+  Engine eng;
+  std::vector<std::int64_t> stamps;
+  Process p(eng, "p", [&](Process& self) {
+    stamps.push_back(eng.now().count());
+    self.delay(microseconds(5));
+    stamps.push_back(eng.now().count());
+    self.delay(microseconds(3));
+    stamps.push_back(eng.now().count());
+  });
+  eng.run();
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(stamps, (std::vector<std::int64_t>{0, 5000, 8000}));
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Engine eng;
+  std::vector<std::string> trace;
+  Process a(eng, "a", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      trace.push_back("a" + std::to_string(i));
+      self.delay(Duration(10));
+    }
+  });
+  Process b(eng, "b", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      trace.push_back("b" + std::to_string(i));
+      self.delay(Duration(15));
+    }
+  });
+  eng.run();
+  // a at t=0,10,20; b at t=0,15,30. Ties resolved by construction order.
+  EXPECT_EQ(trace, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2", "b2"}));
+}
+
+TEST(Process, YieldLetsOtherWorkRunFirst) {
+  Engine eng;
+  std::vector<int> order;
+  Process p(eng, "p", [&](Process& self) {
+    order.push_back(1);
+    eng.schedule_at(eng.now(), [&] { order.push_back(2); });
+    self.yield();
+    order.push_back(3);
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Condition, WaitBlocksUntilNotify) {
+  Engine eng;
+  Condition cond(eng);
+  std::vector<std::string> trace;
+  Process waiter(eng, "waiter", [&](Process& self) {
+    trace.push_back("wait@" + std::to_string(eng.now().count()));
+    cond.wait(self);
+    trace.push_back("woke@" + std::to_string(eng.now().count()));
+  });
+  Process notifier(eng, "notifier", [&](Process& self) {
+    self.delay(Duration(100));
+    cond.notify_all();
+    trace.push_back("notified@" + std::to_string(eng.now().count()));
+  });
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"wait@0", "notified@100", "woke@100"}));
+}
+
+TEST(Condition, NotifyOneWakesInFifoOrder) {
+  Engine eng;
+  Condition cond(eng);
+  std::vector<int> woke;
+  auto make_waiter = [&](int id) {
+    return [&woke, &cond, id](Process& self) {
+      cond.wait(self);
+      woke.push_back(id);
+    };
+  };
+  Process w0(eng, "w0", make_waiter(0));
+  Process w1(eng, "w1", make_waiter(1));
+  Process n(eng, "n", [&](Process& self) {
+    self.delay(Duration(10));
+    cond.notify_one();
+    self.delay(Duration(10));
+    cond.notify_one();
+  });
+  eng.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1}));
+}
+
+TEST(Condition, WaitForTimesOut) {
+  Engine eng;
+  Condition cond(eng);
+  bool notified = true;
+  Process p(eng, "p", [&](Process& self) {
+    notified = cond.wait_for(self, Duration(50));
+  });
+  eng.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(eng.now(), TimePoint(50));
+}
+
+TEST(Condition, WaitForReturnsTrueWhenNotifiedFirst) {
+  Engine eng;
+  Condition cond(eng);
+  bool notified = false;
+  std::int64_t woke_at = -1;
+  Process p(eng, "p", [&](Process& self) {
+    notified = cond.wait_for(self, Duration(1000));
+    woke_at = eng.now().count();
+  });
+  Process n(eng, "n", [&](Process& self) {
+    self.delay(Duration(20));
+    cond.notify_all();
+  });
+  eng.run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(woke_at, 20);
+}
+
+TEST(Condition, TimedOutWaiterDoesNotConsumeNotifyOne) {
+  Engine eng;
+  Condition cond(eng);
+  std::vector<int> woke;
+  Process w0(eng, "w0", [&](Process& self) {
+    if (!cond.wait_for(self, Duration(10))) woke.push_back(-1);
+  });
+  Process w1(eng, "w1", [&](Process& self) {
+    cond.wait(self);
+    woke.push_back(1);
+  });
+  Process n(eng, "n", [&](Process& self) {
+    self.delay(Duration(100));  // after w0 timed out
+    cond.notify_one();          // must wake w1, not the dead w0 slot
+  });
+  eng.run();
+  EXPECT_EQ(woke, (std::vector<int>{-1, 1}));
+}
+
+TEST(Process, BlockedProcessesDetectedAsDeadlock) {
+  Engine eng;
+  Condition never(eng);
+  auto p = std::make_unique<Process>(eng, "stuck",
+                                     [&](Process& self) { never.wait(self); });
+  eng.run();  // queue drains with p still blocked
+  const auto blocked = eng.blocked_processes();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0]->name(), "stuck");
+  p.reset();  // kill + join cleanly
+  EXPECT_TRUE(eng.blocked_processes().empty());
+}
+
+TEST(Process, KillUnwindsWithRaii) {
+  Engine eng;
+  Condition never(eng);
+  bool cleaned_up = false;
+  struct Cleanup {
+    bool* flag;
+    ~Cleanup() { *flag = true; }
+  };
+  {
+    Process p(eng, "victim", [&](Process& self) {
+      Cleanup c{&cleaned_up};
+      never.wait(self);
+    });
+    eng.run();
+    EXPECT_FALSE(cleaned_up);
+  }  // destructor kills
+  EXPECT_TRUE(cleaned_up);
+}
+
+TEST(Process, BodyExceptionPropagatesToRun) {
+  Engine eng;
+  Process p(eng, "thrower", [&](Process& self) {
+    self.delay(Duration(5));
+    throw std::runtime_error("body failed");
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, DeterminismAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::int64_t> trace;
+    Condition cond(eng);
+    Process a(eng, "a", [&](Process& self) {
+      for (int i = 0; i < 10; ++i) {
+        self.delay(Duration(7));
+        trace.push_back(eng.now().count());
+        cond.notify_all();
+      }
+    });
+    Process b(eng, "b", [&](Process& self) {
+      for (int i = 0; i < 5; ++i) {
+        cond.wait(self);
+        trace.push_back(-eng.now().count());
+      }
+    });
+    eng.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mu = mvflow::util;
+
+TEST(Check, CheckThrowsLogicError) {
+  EXPECT_NO_THROW(mu::check(true));
+  EXPECT_THROW(mu::check(false, "boom"), std::logic_error);
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(mu::require(true));
+  EXPECT_THROW(mu::require(false, "bad"), std::invalid_argument);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  mu::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministicPerSeed) {
+  mu::Xoshiro256 a(7), b(7), c(8);
+  bool all_same = true;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) all_same = false;
+  }
+  EXPECT_FALSE(all_same) << "different seeds must give different streams";
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  mu::Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  mu::Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "1000 draws should hit every value in [0,10)";
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  mu::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  mu::RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  mu::RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndBoundaries) {
+  mu::Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bucket 0
+  h.add(9.999);  // bucket 9
+  h.add(10.0);   // overflow (hi is exclusive)
+  h.add(5.0);    // bucket 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  mu::Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(mu::Histogram(5.0, 5.0, 10), std::invalid_argument);
+  EXPECT_THROW(mu::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Table, AlignsAndFormats) {
+  mu::Table t({"name", "value"});
+  t.add("latency", 12.5);
+  t.add("count", std::size_t{42});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("12.500"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  mu::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, ScientificForExtremes) {
+  EXPECT_EQ(mu::Table::format_cell(1.5e9), "1.500e+09");
+  EXPECT_EQ(mu::Table::format_cell(0.0), "0.000");
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=5", "--verbose", "pos1", "--rate=2.5"};
+  mu::Options o(5, argv);
+  EXPECT_EQ(o.get_int("n", 0), 5);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(o.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(o.get_or("missing", "dflt"), "dflt");
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "pos1");
+}
+
+TEST(Options, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  mu::Options o(3, argv);
+  (void)o.get_int("used", 0);
+  const auto unused = o.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
