@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ecm_threshold.dir/bench_abl_ecm_threshold.cpp.o"
+  "CMakeFiles/bench_abl_ecm_threshold.dir/bench_abl_ecm_threshold.cpp.o.d"
+  "bench_abl_ecm_threshold"
+  "bench_abl_ecm_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ecm_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

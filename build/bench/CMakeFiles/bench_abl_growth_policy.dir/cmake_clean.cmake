@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_growth_policy.dir/bench_abl_growth_policy.cpp.o"
+  "CMakeFiles/bench_abl_growth_policy.dir/bench_abl_growth_policy.cpp.o.d"
+  "bench_abl_growth_policy"
+  "bench_abl_growth_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_growth_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

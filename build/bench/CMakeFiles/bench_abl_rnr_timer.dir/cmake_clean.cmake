@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_rnr_timer.dir/bench_abl_rnr_timer.cpp.o"
+  "CMakeFiles/bench_abl_rnr_timer.dir/bench_abl_rnr_timer.cpp.o.d"
+  "bench_abl_rnr_timer"
+  "bench_abl_rnr_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rnr_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

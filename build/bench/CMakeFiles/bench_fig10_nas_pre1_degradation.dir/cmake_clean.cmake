@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_nas_pre1_degradation.dir/bench_fig10_nas_pre1_degradation.cpp.o"
+  "CMakeFiles/bench_fig10_nas_pre1_degradation.dir/bench_fig10_nas_pre1_degradation.cpp.o.d"
+  "bench_fig10_nas_pre1_degradation"
+  "bench_fig10_nas_pre1_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nas_pre1_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bw_pre10_blocking.dir/bench_fig5_bw_pre10_blocking.cpp.o"
+  "CMakeFiles/bench_fig5_bw_pre10_blocking.dir/bench_fig5_bw_pre10_blocking.cpp.o.d"
+  "bench_fig5_bw_pre10_blocking"
+  "bench_fig5_bw_pre10_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bw_pre10_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bw_pre10_nonblocking.dir/bench_fig6_bw_pre10_nonblocking.cpp.o"
+  "CMakeFiles/bench_fig6_bw_pre10_nonblocking.dir/bench_fig6_bw_pre10_nonblocking.cpp.o.d"
+  "bench_fig6_bw_pre10_nonblocking"
+  "bench_fig6_bw_pre10_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bw_pre10_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

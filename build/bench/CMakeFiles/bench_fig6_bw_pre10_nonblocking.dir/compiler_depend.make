@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_bw_pre10_nonblocking.
+# This may be replaced when dependencies are built.

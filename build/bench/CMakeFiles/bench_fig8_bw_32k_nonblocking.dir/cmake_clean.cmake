@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bw_32k_nonblocking.dir/bench_fig8_bw_32k_nonblocking.cpp.o"
+  "CMakeFiles/bench_fig8_bw_32k_nonblocking.dir/bench_fig8_bw_32k_nonblocking.cpp.o.d"
+  "bench_fig8_bw_32k_nonblocking"
+  "bench_fig8_bw_32k_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bw_32k_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

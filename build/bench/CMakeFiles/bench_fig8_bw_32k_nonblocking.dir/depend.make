@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_bw_32k_nonblocking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_gbench.dir/bench_overhead_gbench.cpp.o"
+  "CMakeFiles/bench_overhead_gbench.dir/bench_overhead_gbench.cpp.o.d"
+  "bench_overhead_gbench"
+  "bench_overhead_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_ecm_counts.dir/bench_tab1_ecm_counts.cpp.o"
+  "CMakeFiles/bench_tab1_ecm_counts.dir/bench_tab1_ecm_counts.cpp.o.d"
+  "bench_tab1_ecm_counts"
+  "bench_tab1_ecm_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_ecm_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

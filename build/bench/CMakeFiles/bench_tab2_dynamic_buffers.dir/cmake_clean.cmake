@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_dynamic_buffers.dir/bench_tab2_dynamic_buffers.cpp.o"
+  "CMakeFiles/bench_tab2_dynamic_buffers.dir/bench_tab2_dynamic_buffers.cpp.o.d"
+  "bench_tab2_dynamic_buffers"
+  "bench_tab2_dynamic_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_dynamic_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

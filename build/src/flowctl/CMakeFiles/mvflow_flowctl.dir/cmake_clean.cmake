@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvflow_flowctl.dir/flowctl.cpp.o"
+  "CMakeFiles/mvflow_flowctl.dir/flowctl.cpp.o.d"
+  "libmvflow_flowctl.a"
+  "libmvflow_flowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvflow_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

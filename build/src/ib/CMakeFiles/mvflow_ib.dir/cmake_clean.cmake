@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvflow_ib.dir/cq.cpp.o"
+  "CMakeFiles/mvflow_ib.dir/cq.cpp.o.d"
+  "CMakeFiles/mvflow_ib.dir/fabric.cpp.o"
+  "CMakeFiles/mvflow_ib.dir/fabric.cpp.o.d"
+  "CMakeFiles/mvflow_ib.dir/hca.cpp.o"
+  "CMakeFiles/mvflow_ib.dir/hca.cpp.o.d"
+  "CMakeFiles/mvflow_ib.dir/memory.cpp.o"
+  "CMakeFiles/mvflow_ib.dir/memory.cpp.o.d"
+  "CMakeFiles/mvflow_ib.dir/qp.cpp.o"
+  "CMakeFiles/mvflow_ib.dir/qp.cpp.o.d"
+  "libmvflow_ib.a"
+  "libmvflow_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvflow_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/mvflow_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/mvflow_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/communicator.cpp" "src/mpi/CMakeFiles/mvflow_mpi.dir/communicator.cpp.o" "gcc" "src/mpi/CMakeFiles/mvflow_mpi.dir/communicator.cpp.o.d"
+  "/root/repo/src/mpi/device.cpp" "src/mpi/CMakeFiles/mvflow_mpi.dir/device.cpp.o" "gcc" "src/mpi/CMakeFiles/mvflow_mpi.dir/device.cpp.o.d"
+  "/root/repo/src/mpi/match.cpp" "src/mpi/CMakeFiles/mvflow_mpi.dir/match.cpp.o" "gcc" "src/mpi/CMakeFiles/mvflow_mpi.dir/match.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/mvflow_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/mvflow_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ib/CMakeFiles/mvflow_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowctl/CMakeFiles/mvflow_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvflow_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/mvflow_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/mvflow_mpi.dir/communicator.cpp.o"
+  "CMakeFiles/mvflow_mpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/mvflow_mpi.dir/device.cpp.o"
+  "CMakeFiles/mvflow_mpi.dir/device.cpp.o.d"
+  "CMakeFiles/mvflow_mpi.dir/match.cpp.o"
+  "CMakeFiles/mvflow_mpi.dir/match.cpp.o.d"
+  "CMakeFiles/mvflow_mpi.dir/world.cpp.o"
+  "CMakeFiles/mvflow_mpi.dir/world.cpp.o.d"
+  "libmvflow_mpi.a"
+  "libmvflow_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvflow_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

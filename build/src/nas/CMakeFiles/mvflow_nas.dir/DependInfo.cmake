@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/bt.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/bt.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/bt.cpp.o.d"
+  "/root/repo/src/nas/cg.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/cg.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/cg.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/ft.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/ft.cpp.o.d"
+  "/root/repo/src/nas/harness.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/harness.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/harness.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/is.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/is.cpp.o.d"
+  "/root/repo/src/nas/lu.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/lu.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/lu.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/mg.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/mg.cpp.o.d"
+  "/root/repo/src/nas/sp.cpp" "src/nas/CMakeFiles/mvflow_nas.dir/sp.cpp.o" "gcc" "src/nas/CMakeFiles/mvflow_nas.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mvflow_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/mvflow_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowctl/CMakeFiles/mvflow_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

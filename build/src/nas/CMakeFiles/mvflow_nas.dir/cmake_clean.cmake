@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvflow_nas.dir/bt.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/bt.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/cg.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/ft.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/harness.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/harness.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/is.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/is.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/lu.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/lu.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/mg.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/mvflow_nas.dir/sp.cpp.o"
+  "CMakeFiles/mvflow_nas.dir/sp.cpp.o.d"
+  "libmvflow_nas.a"
+  "libmvflow_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvflow_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

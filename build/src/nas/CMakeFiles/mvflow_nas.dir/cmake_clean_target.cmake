@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvflow_nas.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvflow_sim.dir/condition.cpp.o"
+  "CMakeFiles/mvflow_sim.dir/condition.cpp.o.d"
+  "CMakeFiles/mvflow_sim.dir/engine.cpp.o"
+  "CMakeFiles/mvflow_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mvflow_sim.dir/process.cpp.o"
+  "CMakeFiles/mvflow_sim.dir/process.cpp.o.d"
+  "CMakeFiles/mvflow_sim.dir/time.cpp.o"
+  "CMakeFiles/mvflow_sim.dir/time.cpp.o.d"
+  "libmvflow_sim.a"
+  "libmvflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

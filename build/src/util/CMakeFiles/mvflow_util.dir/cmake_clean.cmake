@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvflow_util.dir/log.cpp.o"
+  "CMakeFiles/mvflow_util.dir/log.cpp.o.d"
+  "CMakeFiles/mvflow_util.dir/options.cpp.o"
+  "CMakeFiles/mvflow_util.dir/options.cpp.o.d"
+  "CMakeFiles/mvflow_util.dir/stats.cpp.o"
+  "CMakeFiles/mvflow_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mvflow_util.dir/table.cpp.o"
+  "CMakeFiles/mvflow_util.dir/table.cpp.o.d"
+  "libmvflow_util.a"
+  "libmvflow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvflow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

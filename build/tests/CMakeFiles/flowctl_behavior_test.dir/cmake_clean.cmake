@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowctl_behavior_test.dir/flowctl_behavior_test.cpp.o"
+  "CMakeFiles/flowctl_behavior_test.dir/flowctl_behavior_test.cpp.o.d"
+  "flowctl_behavior_test"
+  "flowctl_behavior_test.pdb"
+  "flowctl_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowctl_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowctl_unit_test.dir/flowctl_unit_test.cpp.o"
+  "CMakeFiles/flowctl_unit_test.dir/flowctl_unit_test.cpp.o.d"
+  "flowctl_unit_test"
+  "flowctl_unit_test.pdb"
+  "flowctl_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowctl_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

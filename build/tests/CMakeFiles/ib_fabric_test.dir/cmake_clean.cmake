@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_fabric_test.dir/ib_fabric_test.cpp.o"
+  "CMakeFiles/ib_fabric_test.dir/ib_fabric_test.cpp.o.d"
+  "ib_fabric_test"
+  "ib_fabric_test.pdb"
+  "ib_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

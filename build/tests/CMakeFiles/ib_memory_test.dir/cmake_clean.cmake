@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_memory_test.dir/ib_memory_test.cpp.o"
+  "CMakeFiles/ib_memory_test.dir/ib_memory_test.cpp.o.d"
+  "ib_memory_test"
+  "ib_memory_test.pdb"
+  "ib_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_rc_test.dir/ib_rc_test.cpp.o"
+  "CMakeFiles/ib_rc_test.dir/ib_rc_test.cpp.o.d"
+  "ib_rc_test"
+  "ib_rc_test.pdb"
+  "ib_rc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_rc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

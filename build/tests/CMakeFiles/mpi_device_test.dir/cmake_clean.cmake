@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_device_test.dir/mpi_device_test.cpp.o"
+  "CMakeFiles/mpi_device_test.dir/mpi_device_test.cpp.o.d"
+  "mpi_device_test"
+  "mpi_device_test.pdb"
+  "mpi_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

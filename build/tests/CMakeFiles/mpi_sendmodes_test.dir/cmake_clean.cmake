@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_sendmodes_test.dir/mpi_sendmodes_test.cpp.o"
+  "CMakeFiles/mpi_sendmodes_test.dir/mpi_sendmodes_test.cpp.o.d"
+  "mpi_sendmodes_test"
+  "mpi_sendmodes_test.pdb"
+  "mpi_sendmodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_sendmodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_numerics_test.dir/nas_numerics_test.cpp.o"
+  "CMakeFiles/nas_numerics_test.dir/nas_numerics_test.cpp.o.d"
+  "nas_numerics_test"
+  "nas_numerics_test.pdb"
+  "nas_numerics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_numerics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_process_test.dir/sim_process_test.cpp.o"
+  "CMakeFiles/sim_process_test.dir/sim_process_test.cpp.o.d"
+  "sim_process_test"
+  "sim_process_test.pdb"
+  "sim_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

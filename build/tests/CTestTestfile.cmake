@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_process_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_rc_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_pt2pt_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/flowctl_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/flowctl_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_sendmodes_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_device_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_numerics_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_ud_test[1]_include.cmake")
