@@ -147,6 +147,18 @@ class ConnectionFlow {
   /// Current credited pool size at this receiver.
   int current_posted() const noexcept { return current_posted_; }
 
+  /// QP recovery: the connection was rebuilt and the receiver reposted its
+  /// whole pool, so sender-side credits restart at `credits` (the peer's
+  /// pool minus credited messages we are about to replay). Return-credit
+  /// accounting restarts from zero — credits for replayed duplicates flow
+  /// back through the normal repost path.
+  void reconnect_reset(int credits) {
+    credits_ = credits < 0 ? 0 : credits;
+    accumulated_ = 0;
+    idle_msgs_ = 0;
+    pending_decay_ = 0;
+  }
+
   const Counters& counters() const noexcept { return counters_; }
 
  private:

@@ -7,10 +7,47 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace mvflow::ib {
+
+/// One scheduled link outage: the named node's links (both directions)
+/// black-hole every packet with `down <= t < up`.
+struct LinkFlap {
+  int node = 0;
+  sim::TimePoint down{sim::Duration{0}};
+  sim::TimePoint up{sim::Duration{0}};
+};
+
+/// One-shot targeted fault for tests: fires on the (skip+1)-th packet
+/// matching the (src, dst, kind) filter, then disarms.
+struct ScriptedFault {
+  int src_node = -1;       ///< -1 matches any source node.
+  int dst_node = -1;       ///< -1 matches any destination node.
+  int kind = -1;           ///< -1 any, else static_cast<int>(PacketKind).
+  std::uint64_t skip = 0;  ///< Matching packets to let through first.
+  bool corrupt = false;    ///< Corrupt (deliver CRC-failed) instead of drop.
+};
+
+/// Deterministic fault-injection plan. Random faults draw from a dedicated
+/// Xoshiro256** stream seeded here, so a given (config, workload) pair
+/// always produces the same drops. With everything at its default the
+/// injector is completely inert: no RNG draws, no extra branches taken on
+/// the calibrated happy path.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfa17u;
+  double loss_prob = 0.0;     ///< Per-packet silent-drop probability.
+  double corrupt_prob = 0.0;  ///< Per-packet CRC-corruption probability.
+  std::vector<LinkFlap> flaps;
+  std::vector<ScriptedFault> scripted;
+
+  bool active() const {
+    return loss_prob > 0.0 || corrupt_prob > 0.0 || !flaps.empty() ||
+           !scripted.empty();
+  }
+};
 
 struct FabricConfig {
   /// Effective per-direction bandwidth in bytes/second (min of 4X link and
@@ -50,6 +87,30 @@ struct FabricConfig {
   /// RNR retries before the QP errors out. < 0 means infinite (the paper's
   /// hardware-based scheme sets "retry count to infinite" for reliability).
   int rnr_retry_limit = -1;
+
+  /// Transport (ACK) retransmission timeout: how long a requester waits
+  /// for acknowledgment of the oldest unacked send before rewinding and
+  /// replaying it (IB's Local ACK Timeout). Zero disables the timer —
+  /// the seed's lossless-wire behavior — and keeps every other piece of
+  /// the recovery protocol (sequence NAKs, duplicate re-ACKs) off too,
+  /// so the calibrated happy path is bit-identical with it unset.
+  sim::Duration transport_timeout = sim::Duration{0};
+
+  /// Ceiling for the exponential backoff applied to transport_timeout on
+  /// consecutive unacknowledged retries (doubles each attempt).
+  sim::Duration transport_timeout_cap = sim::milliseconds(5);
+
+  /// Transport retries before the QP errors out with
+  /// WcStatus::transport_retry_exceeded. < 0 means infinite; 7 mirrors the
+  /// common InfiniHost default.
+  int transport_retry_limit = 7;
+
+  /// Deterministic fault-injection plan (inert by default).
+  FaultConfig fault;
+
+  bool transport_enabled() const {
+    return transport_timeout > sim::Duration{0};
+  }
 
   /// Strict end-to-end credit pacing at the requester (IBA's optional
   /// credit mechanism): hold channel sends once unacked sends reach the

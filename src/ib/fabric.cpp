@@ -5,7 +5,12 @@
 namespace mvflow::ib {
 
 Fabric::Fabric(sim::Engine& engine, FabricConfig config, int num_nodes)
-    : engine_(engine), config_(config), up_(num_nodes), down_(num_nodes) {
+    : engine_(engine),
+      config_(config),
+      up_(num_nodes),
+      down_(num_nodes),
+      fault_rng_(config.fault.seed),
+      scripted_(config.fault.scripted.size()) {
   util::require(num_nodes > 0, "fabric needs at least one node");
   util::require(config_.mtu >= 256, "MTU too small");
   nodes_.reserve(num_nodes);
@@ -38,9 +43,47 @@ std::uint32_t Fabric::wire_bytes(const Packet& pkt) const {
     case PacketKind::ack:
     case PacketKind::rnr_nak:
     case PacketKind::access_nak:
+    case PacketKind::seq_nak:
       return config_.ack_bytes;
   }
   return config_.ack_bytes;
+}
+
+bool Fabric::link_down(int node, sim::TimePoint t) const {
+  for (const LinkFlap& f : config_.fault.flaps) {
+    if (f.node == node && t >= f.down && t < f.up) return true;
+  }
+  return false;
+}
+
+bool Fabric::apply_faults(int src_node, int dst_node, Packet& pkt) {
+  const FaultConfig& fc = config_.fault;
+  // Scripted one-shots first: deterministic targeting for tests.
+  for (std::size_t i = 0; i < fc.scripted.size(); ++i) {
+    const ScriptedFault& f = fc.scripted[i];
+    ScriptedState& st = scripted_[i];
+    if (st.fired) continue;
+    if (f.src_node >= 0 && f.src_node != src_node) continue;
+    if (f.dst_node >= 0 && f.dst_node != dst_node) continue;
+    if (f.kind >= 0 && f.kind != static_cast<int>(pkt.kind)) continue;
+    if (st.seen++ < f.skip) continue;
+    st.fired = true;
+    ++stats_.scripted_faults_fired;
+    if (!f.corrupt) return false;
+    pkt.corrupted = true;
+    ++stats_.corrupted_packets;
+    break;
+  }
+  if (fc.loss_prob > 0.0 && fault_rng_.uniform() < fc.loss_prob) {
+    ++stats_.lost_packets;
+    return false;
+  }
+  if (!pkt.corrupted && fc.corrupt_prob > 0.0 &&
+      fault_rng_.uniform() < fc.corrupt_prob) {
+    pkt.corrupted = true;
+    ++stats_.corrupted_packets;
+  }
+  return true;
 }
 
 void Fabric::transmit(int src_node, int dst_node, Packet pkt,
@@ -54,20 +97,35 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
   ++stats_.packets;
   stats_.wire_bytes += wire;
   if (pkt.kind == PacketKind::ack || pkt.kind == PacketKind::rnr_nak ||
-      pkt.kind == PacketKind::access_nak) {
+      pkt.kind == PacketKind::access_nak ||
+      pkt.kind == PacketKind::seq_nak) {
     ++stats_.control_packets;
   } else {
     ++stats_.data_packets;
   }
 
+  const bool faults = config_.fault.active();
+
   sim::TimePoint arrive;
   if (src_node == dst_node) {
     // HCA loopback: through the adapter only, no switch hop.
     const sim::TimePoint start = up_[src_node].reserve(earliest, ser);
+    if (faults && link_down(src_node, start)) {
+      ++stats_.flap_dropped_packets;
+      return;
+    }
     arrive = start + ser + config_.rx_process;
   } else {
     const sim::TimePoint up_start = up_[src_node].reserve(earliest, ser);
     const sim::TimePoint at_switch = up_start + ser + config_.wire_latency;
+    // A dark link eats the packet: the sender still serialized it onto its
+    // uplink (it cannot know the link state), but nothing reaches the
+    // switch's output port, so the downlink is not reserved.
+    if (faults && (link_down(src_node, up_start) ||
+                   link_down(dst_node, at_switch + config_.switch_latency))) {
+      ++stats_.flap_dropped_packets;
+      return;
+    }
     // Store-and-forward: the switch starts forwarding after the packet is
     // fully received, plus its forwarding latency, subject to the output
     // port being free.
@@ -75,6 +133,8 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
         down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
     arrive = down_start + ser + config_.wire_latency + config_.rx_process;
   }
+
+  if (faults && !apply_faults(src_node, dst_node, pkt)) return;
 
   engine_.schedule_at(arrive, [this, dst_node, p = std::move(pkt)] {
     deliver(dst_node, p);

@@ -15,14 +15,25 @@
 #include "ib/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "util/rng.hpp"
 
 namespace mvflow::ib {
 
+/// `packets`/`wire_bytes` count transmit attempts (the sender serializes a
+/// packet onto its uplink whether or not a fault later eats it); the fault
+/// counters record what never reached the destination HCA.
 struct FabricStats {
   std::uint64_t packets = 0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t data_packets = 0;
   std::uint64_t control_packets = 0;  // ACK/NAK
+  // Fault injector, per kind:
+  std::uint64_t lost_packets = 0;          // random loss
+  std::uint64_t corrupted_packets = 0;     // delivered with corrupted=true
+  std::uint64_t flap_dropped_packets = 0;  // black-holed by a link flap
+  std::uint64_t scripted_faults_fired = 0; // one-shot scripted drop/corrupt
+
+  bool operator==(const FabricStats&) const = default;
 };
 
 class Fabric {
@@ -60,6 +71,19 @@ class Fabric {
  private:
   void deliver(int node, const Packet& pkt);
 
+  /// True when a scheduled flap has `node`'s links dark at time t.
+  bool link_down(int node, sim::TimePoint t) const;
+
+  /// Applies the fault plan to a packet about to be scheduled for delivery.
+  /// Returns false when the packet is consumed by a fault (drop); may set
+  /// pkt.corrupted. Only called when config_.fault.active().
+  bool apply_faults(int src_node, int dst_node, Packet& pkt);
+
+  struct ScriptedState {
+    std::uint64_t seen = 0;
+    bool fired = false;
+  };
+
   sim::Engine& engine_;
   FabricConfig config_;
   std::vector<std::unique_ptr<Hca>> nodes_;
@@ -67,6 +91,8 @@ class Fabric {
   std::vector<sim::Resource> down_;  // switch -> node
   QpNumber next_qpn_ = 100;
   FabricStats stats_;
+  util::Xoshiro256 fault_rng_;
+  std::vector<ScriptedState> scripted_;
 };
 
 }  // namespace mvflow::ib

@@ -29,6 +29,8 @@ enum class PacketKind : std::uint8_t {
   ack,              ///< positive acknowledgment, cumulative per message
   rnr_nak,          ///< receiver not ready: no recv WQE posted
   access_nak,       ///< remote access violation (bad rkey / bounds)
+  seq_nak,          ///< PSN sequence error: responder saw a gap, requests
+                    ///< retransmission from the carried MSN
 };
 
 struct Packet {
@@ -41,6 +43,7 @@ struct Packet {
   std::uint32_t payload_bytes = 0;
   std::shared_ptr<const MessageData> msg;  ///< Data/read packets only.
   std::int64_t credits = -1;  ///< ACK: responder's posted recv WQE count.
+  bool corrupted = false;     ///< Fault injector: delivered but CRC-failed.
 };
 
 }  // namespace mvflow::ib

@@ -117,11 +117,21 @@ void QueuePair::pump_tx() {
     PendingSend ps = std::move(pending_tx_.front());
     pending_tx_.pop_front();
     transmit_message(ps);
-    if (ps.wr.opcode == WrOpcode::rdma_read && !ps.retransmission) {
-      reads_.emplace_back(ps.msn, ReadPending{ps.wr, 0});
+    if (ps.wr.opcode == WrOpcode::rdma_read) {
+      // Register (or restart) the reassembly slot. A rewind erases the
+      // slot, so a replayed read must re-create it or its response would
+      // be dropped as stale and the read could never complete.
+      auto it = std::find_if(reads_.begin(), reads_.end(),
+                             [&](const auto& p) { return p.first == ps.msn; });
+      if (it == reads_.end()) {
+        reads_.emplace_back(ps.msn, ReadPending{ps.wr, 0});
+      } else {
+        it->second.received = 0;
+      }
     }
     unacked_.push_back(std::move(ps));
   }
+  arm_retx_timer();
 }
 
 void QueuePair::transmit_message(PendingSend& ps) {
@@ -218,6 +228,12 @@ void QueuePair::post_send_ud(const SendWr& wr) {
 
 void QueuePair::rx_packet_ud(const Packet& pkt) {
   if (pkt.kind != PacketKind::data) return;  // UD carries datagrams only
+  if (pkt.corrupted) {
+    // CRC failure on an unreliable datagram: dropped, nobody is told.
+    ++stats_.corrupt_packets_received;
+    ++stats_.packets_dropped;
+    return;
+  }
   if (recvq_.empty()) {
     // No buffer: the datagram is silently dropped — the defining contrast
     // with RC's RNR NAK + retry that the paper's flow-control study
@@ -245,6 +261,17 @@ void QueuePair::rx_packet(const Packet& pkt) {
     return;
   }
   if (state_ != QpState::ready) return;  // drop on errored QP
+  if (pkt.corrupted) {
+    // CRC failure at the receiving HCA: drop the packet. For payload-
+    // bearing kinds the responder NAKs its expected MSN so the requester
+    // recovers immediately; corrupted ACKs/NAKs and read responses are
+    // recovered by the requester's transport timer instead.
+    ++stats_.corrupt_packets_received;
+    ++stats_.packets_dropped;
+    if (pkt.kind == PacketKind::data || pkt.kind == PacketKind::rdma_read_req)
+      maybe_send_seq_nak();
+    return;
+  }
   switch (pkt.kind) {
     case PacketKind::data: handle_data(pkt); break;
     case PacketKind::rdma_read_req: handle_read_req(pkt); break;
@@ -252,6 +279,7 @@ void QueuePair::rx_packet(const Packet& pkt) {
     case PacketKind::ack: handle_ack(pkt); break;
     case PacketKind::rnr_nak: handle_rnr_nak(pkt); break;
     case PacketKind::access_nak: handle_access_nak(pkt); break;
+    case PacketKind::seq_nak: handle_seq_nak(pkt); break;
   }
 }
 
@@ -261,11 +289,30 @@ void QueuePair::handle_data(const Packet& pkt) {
     // racing ahead of an RNR-dropped predecessor: drop silently; the
     // requester's RNR rewind replays everything from the NAK'd message.
     ++stats_.packets_dropped;
+    if (hca_.fabric().config().transport_enabled()) {
+      if (pkt.msn < expected_msn_) {
+        // Duplicate of an already-accepted message: a timeout replay raced
+        // the (lost or slow) ACK. Re-ACK at the end of the message so the
+        // requester can retire it instead of timing out again.
+        if (pkt.pkt_index + 1 == pkt.pkt_count && expected_msn_ > 0)
+          send_control(PacketKind::ack, expected_msn_ - 1,
+                       static_cast<std::int64_t>(recvq_.size()));
+      } else if (dropping_msn_ == static_cast<Msn>(-1)) {
+        // Gap with no RNR drop in progress: a predecessor was lost on the
+        // wire. Ask for retransmission from the expected MSN.
+        maybe_send_seq_nak();
+      }
+    }
     return;
   }
   if (pkt.pkt_index == 0) {
     dropping_msn_ = static_cast<Msn>(-1);
-    rx_cur_.reset();
+    // The expected message is (re)starting: a later gap is a new event and
+    // deserves its own NAK.
+    last_seq_nak_msn_ = static_cast<Msn>(-1);
+    // Keep an in-progress reassembly of this very message: a replay of a
+    // partially-assembled message restarts it on the same recv WQE.
+    if (rx_cur_ && rx_cur_->msn != pkt.msn) rx_cur_.reset();
     if (pkt.msg->opcode == WrOpcode::send) {
       responder_accept_send(pkt);
     } else {
@@ -278,9 +325,21 @@ void QueuePair::handle_data(const Packet& pkt) {
     ++stats_.packets_dropped;
     return;
   }
+  if (rx_cur_ && rx_cur_->msn == pkt.msn &&
+      pkt.pkt_index != rx_cur_->pkts_seen) {
+    // A packet inside the message was lost (in-order fabric, so an index
+    // skip means a wire drop, not reordering). Keep the assembly — the
+    // replayed index-0 packet restarts it on the same WQE — and NAK.
+    ++stats_.packets_dropped;
+    if (hca_.fabric().config().transport_enabled()) maybe_send_seq_nak();
+    return;
+  }
   if (pkt.msg->opcode == WrOpcode::send) {
     if (!rx_cur_ || rx_cur_->msn != pkt.msn) {
+      // Continuation with no assembly in progress: the first packet of the
+      // message was lost. NAK so the whole message is replayed.
       ++stats_.packets_dropped;
+      if (hca_.fabric().config().transport_enabled()) maybe_send_seq_nak();
       return;
     }
     responder_accept_send(pkt);
@@ -291,19 +350,26 @@ void QueuePair::handle_data(const Packet& pkt) {
 
 void QueuePair::responder_accept_send(const Packet& pkt) {
   if (pkt.pkt_index == 0) {
-    if (recvq_.empty()) {
-      // Receiver not ready: drop the message, tell the requester.
-      ++stats_.rnr_naks_sent;
-      dropping_msn_ = pkt.msn;
-      send_control(PacketKind::rnr_nak, pkt.msn);
-      return;
+    if (rx_cur_ && rx_cur_->msn == pkt.msn) {
+      // Replay of a message whose assembly was interrupted mid-flight:
+      // restart on the recv WQE already consumed for it — popping a fresh
+      // one would leak the buffer and break FIFO recv ordering.
+      rx_cur_->pkts_seen = 0;
+    } else {
+      if (recvq_.empty()) {
+        // Receiver not ready: drop the message, tell the requester.
+        ++stats_.rnr_naks_sent;
+        dropping_msn_ = pkt.msn;
+        send_control(PacketKind::rnr_nak, pkt.msn);
+        return;
+      }
+      RxAssembly asm_state;
+      asm_state.msn = pkt.msn;
+      asm_state.wr = recvq_.front();
+      recvq_.pop_front();
+      asm_state.pkts_seen = 0;
+      rx_cur_ = asm_state;
     }
-    RxAssembly asm_state;
-    asm_state.msn = pkt.msn;
-    asm_state.wr = recvq_.front();
-    recvq_.pop_front();
-    asm_state.pkts_seen = 0;
-    rx_cur_ = asm_state;
   }
   util::check(rx_cur_ && rx_cur_->msn == pkt.msn, "rx assembly out of sync");
   ++rx_cur_->pkts_seen;
@@ -331,19 +397,24 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
 
 void QueuePair::responder_accept_write(const Packet& pkt) {
   if (pkt.pkt_index == 0) {
-    if (!hca_.memory().check_remote(pkt.msg->remote_addr, pkt.msg->length,
-                                    pkt.msg->rkey, Access::remote_write)) {
-      dropping_msn_ = pkt.msn;
-      send_control(PacketKind::access_nak, pkt.msn);
-      return;
+    if (rx_cur_ && rx_cur_->msn == pkt.msn) {
+      rx_cur_->pkts_seen = 0;  // replay restart of a partial assembly
+    } else {
+      if (!hca_.memory().check_remote(pkt.msg->remote_addr, pkt.msg->length,
+                                      pkt.msg->rkey, Access::remote_write)) {
+        dropping_msn_ = pkt.msn;
+        send_control(PacketKind::access_nak, pkt.msn);
+        return;
+      }
+      RxAssembly asm_state;
+      asm_state.msn = pkt.msn;
+      asm_state.pkts_seen = 0;
+      rx_cur_ = asm_state;
     }
-    RxAssembly asm_state;
-    asm_state.msn = pkt.msn;
-    asm_state.pkts_seen = 0;
-    rx_cur_ = asm_state;
   }
   if (!rx_cur_ || rx_cur_->msn != pkt.msn) {
     ++stats_.packets_dropped;
+    if (hca_.fabric().config().transport_enabled()) maybe_send_seq_nak();
     return;
   }
   ++rx_cur_->pkts_seen;
@@ -359,7 +430,21 @@ void QueuePair::responder_accept_write(const Packet& pkt) {
 
 void QueuePair::handle_read_req(const Packet& pkt) {
   if (pkt.msn != expected_msn_) {
+    const bool transport = hca_.fabric().config().transport_enabled();
+    if (transport && pkt.msn < expected_msn_ &&
+        hca_.memory().check_remote(pkt.msg->remote_addr, pkt.msg->length,
+                                   pkt.msg->rkey, Access::remote_read)) {
+      // Duplicate of an already-executed read (the response was lost or a
+      // timeout replay raced it): reads are idempotent, so re-execute and
+      // re-stream without advancing the sequence.
+      stream_read_response(pkt);
+      return;
+    }
     ++stats_.packets_dropped;
+    if (transport && pkt.msn > expected_msn_ &&
+        dropping_msn_ == static_cast<Msn>(-1)) {
+      maybe_send_seq_nak();
+    }
     return;
   }
   if (!hca_.memory().check_remote(pkt.msg->remote_addr, pkt.msg->length,
@@ -369,7 +454,10 @@ void QueuePair::handle_read_req(const Packet& pkt) {
   }
   ++expected_msn_;
   ++stats_.messages_received;
+  stream_read_response(pkt);
+}
 
+void QueuePair::stream_read_response(const Packet& pkt) {
   // Stream the response back: snapshot the requested bytes now.
   Fabric& fabric = hca_.fabric();
   const auto& cfg = fabric.config();
@@ -432,6 +520,7 @@ void QueuePair::handle_ack(const Packet& pkt) {
 }
 
 void QueuePair::retire_acked_() {
+  bool progressed = false;
   while (!unacked_.empty() && unacked_.front().acked) {
     const PendingSend ps = std::move(unacked_.front());
     unacked_.pop_front();
@@ -439,6 +528,13 @@ void QueuePair::retire_acked_() {
     if (ps.wr.opcode == WrOpcode::rdma_write) op = WcOpcode::rdma_write;
     if (ps.wr.opcode == WrOpcode::rdma_read) op = WcOpcode::rdma_read;
     complete_send(ps, WcStatus::success, op);
+    progressed = true;
+  }
+  if (progressed) {
+    // Forward progress resets the ACK-timeout clock and its backoff.
+    retx_attempts_ = 0;
+    disarm_retx_timer();
+    arm_retx_timer();
   }
 }
 
@@ -467,11 +563,23 @@ void QueuePair::handle_rnr_nak(const Packet& pkt) {
   // Rewind: everything from the NAK'd message back to the pending queue,
   // marked as retransmissions. The wire copies already sent will be dropped
   // as out-of-sequence at the responder.
+  rewind_unacked_from(pkt.msn);
+
+  rnr_waiting_ = true;
+  rnr_timer_ = hca_.fabric().engine().schedule_after(
+      hca_.fabric().config().rnr_timeout, [this] {
+        rnr_waiting_ = false;
+        pump_tx();
+      });
+}
+
+void QueuePair::rewind_unacked_from(Msn msn) {
   std::deque<PendingSend> rewound;
-  while (!unacked_.empty() && unacked_.back().msn >= pkt.msn) {
+  while (!unacked_.empty() && unacked_.back().msn >= msn) {
     PendingSend ps = std::move(unacked_.back());
     unacked_.pop_back();
     ps.retransmission = true;
+    ps.acked = false;  // will be re-ACKed (possibly as a duplicate)
     // Drop any half-assembled read response; it will be re-requested.
     reads_.erase(std::remove_if(reads_.begin(), reads_.end(),
                                 [&](const auto& p) { return p.first == ps.msn; }),
@@ -481,13 +589,75 @@ void QueuePair::handle_rnr_nak(const Packet& pkt) {
   for (auto rit = rewound.rbegin(); rit != rewound.rend(); ++rit) {
     pending_tx_.push_front(std::move(*rit));
   }
+}
 
-  rnr_waiting_ = true;
-  rnr_timer_ = hca_.fabric().engine().schedule_after(
-      hca_.fabric().config().rnr_timeout, [this] {
-        rnr_waiting_ = false;
-        pump_tx();
-      });
+void QueuePair::arm_retx_timer() {
+  const auto& cfg = hca_.fabric().config();
+  if (!cfg.transport_enabled()) return;
+  if (retx_armed_ || unacked_.empty() || state_ != QpState::ready) return;
+  sim::Duration d = cfg.transport_timeout;
+  for (int i = 0; i < retx_attempts_ && d < cfg.transport_timeout_cap; ++i) {
+    d += d;
+  }
+  d = std::min(d, cfg.transport_timeout_cap);
+  retx_armed_ = true;
+  retx_timer_ = hca_.fabric().engine().schedule_after(d, [this] {
+    retx_armed_ = false;
+    handle_transport_timeout();
+  });
+}
+
+void QueuePair::disarm_retx_timer() {
+  if (!retx_armed_) return;
+  retx_timer_.cancel();
+  retx_armed_ = false;
+}
+
+void QueuePair::handle_transport_timeout() {
+  if (state_ != QpState::ready || unacked_.empty()) return;
+  if (rnr_waiting_) {
+    // The RNR timer owns recovery right now; look again after a period.
+    arm_retx_timer();
+    return;
+  }
+  const auto& cfg = hca_.fabric().config();
+  if (cfg.transport_retry_limit >= 0 &&
+      retx_attempts_ >= cfg.transport_retry_limit) {
+    PendingSend failed = std::move(unacked_.front());
+    unacked_.pop_front();
+    WcOpcode op = WcOpcode::send;
+    if (failed.wr.opcode == WrOpcode::rdma_write) op = WcOpcode::rdma_write;
+    if (failed.wr.opcode == WrOpcode::rdma_read) op = WcOpcode::rdma_read;
+    complete_send(failed, WcStatus::transport_retry_exceeded, op);
+    enter_error();
+    return;
+  }
+  ++retx_attempts_;
+  ++stats_.transport_retries;
+  rewind_unacked_from(unacked_.front().msn);
+  pump_tx();  // replays and re-arms the timer with backoff
+}
+
+void QueuePair::maybe_send_seq_nak() {
+  if (!hca_.fabric().config().transport_enabled()) return;
+  if (last_seq_nak_msn_ == expected_msn_) return;  // one NAK per gap
+  last_seq_nak_msn_ = expected_msn_;
+  ++stats_.seq_naks_sent;
+  send_control(PacketKind::seq_nak, expected_msn_);
+}
+
+void QueuePair::handle_seq_nak(const Packet& pkt) {
+  ++stats_.seq_naks_received;
+  if (rnr_waiting_) return;  // the RNR replay will cover the gap
+  if (unacked_.empty() || unacked_.back().msn < pkt.msn) {
+    return;  // stale NAK: everything it names is retired or already rewound
+  }
+  // The responder is alive and talking: recover immediately and give the
+  // replay a fresh timeout budget.
+  retx_attempts_ = 0;
+  disarm_retx_timer();
+  rewind_unacked_from(pkt.msn);
+  pump_tx();
 }
 
 void QueuePair::handle_access_nak(const Packet& pkt) {
@@ -504,10 +674,16 @@ void QueuePair::handle_access_nak(const Packet& pkt) {
   enter_error();
 }
 
+void QueuePair::modify_error() {
+  if (type_ == QpType::ud) return;
+  enter_error();
+}
+
 void QueuePair::enter_error() {
   if (state_ == QpState::error) return;
   state_ = QpState::error;
   rnr_timer_.cancel();
+  disarm_retx_timer();
   for (const auto& ps : pending_tx_)
     complete_send(ps, WcStatus::flushed, WcOpcode::send);
   for (const auto& ps : unacked_)

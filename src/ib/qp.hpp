@@ -12,7 +12,15 @@
 //     already on the wire are dropped as out-of-sequence (wasted
 //     bandwidth, exactly the hardware-scheme cost the paper discusses);
 //   * RDMA write/read bypass recv WQEs (memory semantics) and are bounds-
-//     checked against the responder's registry.
+//     checked against the responder's registry;
+//   * with FabricConfig::transport_timeout set, the requester also runs the
+//     ACK-timeout half of the RC state machine: unacked sends are rewound
+//     and replayed after the (exponentially backed-off) timeout, the
+//     responder NAKs observed sequence gaps so recovery does not have to
+//     wait out the timer, and duplicates created by replays are re-ACKed /
+//     re-executed rather than wedging the connection. Exhausting
+//     transport_retry_limit completes the oldest send with
+//     transport_retry_exceeded and errors the QP.
 #pragma once
 
 #include <deque>
@@ -58,6 +66,11 @@ class QueuePair {
     return pending_tx_.size() + unacked_.size();
   }
 
+  /// Force the QP into the error state, flushing all outstanding work
+  /// requests (the verbs modify_qp(..., IBV_QPS_ERR) used to quiesce a
+  /// connection before tearing it down or rebuilding it).
+  void modify_error();
+
   const QpStats& stats() const noexcept { return stats_; }
 
  private:
@@ -84,12 +97,22 @@ class QueuePair {
   void retire_acked_();
   void handle_rnr_nak(const Packet& pkt);
   void handle_access_nak(const Packet& pkt);
+  void handle_seq_nak(const Packet& pkt);
   void handle_data(const Packet& pkt);
   void handle_read_req(const Packet& pkt);
   void handle_read_resp(const Packet& pkt);
   void responder_accept_send(const Packet& pkt);
   void responder_accept_write(const Packet& pkt);
+  void stream_read_response(const Packet& pkt);
   void enter_error();
+
+  // Transport (ACK-timeout) reliability; all no-ops unless
+  // FabricConfig::transport_enabled().
+  void arm_retx_timer();
+  void disarm_retx_timer();
+  void handle_transport_timeout();
+  void rewind_unacked_from(Msn msn);
+  void maybe_send_seq_nak();
 
   void post_send_ud(const SendWr& wr);
   void rx_packet_ud(const Packet& pkt);
@@ -115,6 +138,11 @@ class QueuePair {
   /// a probe that loses the race takes the RNR NAK path.
   std::int64_t advertised_credits_ = -1;
   sim::EventHandle rnr_timer_;
+  // ACK-timeout retransmission: the timer covers the oldest unacked send;
+  // attempts reset whenever the ACK clock makes forward progress.
+  sim::EventHandle retx_timer_;
+  bool retx_armed_ = false;
+  int retx_attempts_ = 0;
   // RDMA read reassembly (one outstanding read at a time is enough for us,
   // but multiple are supported keyed by msn).
   struct ReadPending {
@@ -127,6 +155,7 @@ class QueuePair {
   std::deque<RecvWr> recvq_;
   Msn expected_msn_ = 0;
   Msn dropping_msn_ = static_cast<Msn>(-1);  // message being discarded
+  Msn last_seq_nak_msn_ = static_cast<Msn>(-1);  // one NAK per observed gap
   struct RxAssembly {
     Msn msn;
     RecvWr wr;

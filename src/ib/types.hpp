@@ -78,6 +78,7 @@ enum class WcStatus : std::uint8_t {
   local_protection_error,   ///< lkey/bounds check failed at this HCA
   remote_access_error,      ///< rkey/bounds check failed at the responder
   rnr_retry_exceeded,       ///< receiver-not-ready retries exhausted
+  transport_retry_exceeded, ///< ACK-timeout retransmissions exhausted
   length_error,             ///< inbound message larger than the posted buffer
   flushed,                  ///< QP entered error state; WR flushed
 };
@@ -107,6 +108,10 @@ struct QpStats {
   std::uint64_t retransmitted_messages = 0;
   std::uint64_t retransmitted_bytes = 0;
   std::uint64_t packets_dropped = 0;    ///< Out-of-sequence / no-buffer drops.
+  std::uint64_t transport_retries = 0;  ///< ACK-timeout firings that replayed.
+  std::uint64_t seq_naks_sent = 0;      ///< As responder (sequence gap seen).
+  std::uint64_t seq_naks_received = 0;  ///< As requester.
+  std::uint64_t corrupt_packets_received = 0;  ///< CRC-failed arrivals dropped.
   std::int64_t last_advertised_credits = -1;  ///< From the newest ACK.
 
   void accumulate(const QpStats& o) {
@@ -119,6 +124,10 @@ struct QpStats {
     retransmitted_messages += o.retransmitted_messages;
     retransmitted_bytes += o.retransmitted_bytes;
     packets_dropped += o.packets_dropped;
+    transport_retries += o.transport_retries;
+    seq_naks_sent += o.seq_naks_sent;
+    seq_naks_received += o.seq_naks_received;
+    corrupt_packets_received += o.corrupt_packets_received;
   }
 };
 

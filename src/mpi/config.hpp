@@ -59,6 +59,13 @@ struct DeviceConfig {
   /// through an out-of-band channel).
   sim::Duration connect_setup = sim::microseconds(30);
 
+  /// Ride through connection failures: when a QP errors (e.g. transport
+  /// retries exhausted during a link flap), rebuild the pair after
+  /// reconnect_delay and replay unacknowledged wire traffic instead of
+  /// failing every outstanding request on the endpoint.
+  bool auto_reconnect = false;
+  sim::Duration reconnect_delay = sim::microseconds(50);
+
   /// Largest payload that fits an eager message.
   std::uint32_t eager_max_payload() const { return buffer_size - kHeaderBytes; }
 };

@@ -54,10 +54,6 @@ Device::Endpoint& Device::ensure_endpoint(Rank peer) {
   return *endpoints_.at(peer);
 }
 
-Device::Endpoint& Device::endpoint_for_qp(ib::QpNumber qpn) {
-  return *endpoints_.at(qp_to_peer_.at(qpn));
-}
-
 void Device::grow_recv_slots(Endpoint& ep, int count) {
   util::require(count > 0, "grow by zero");
   const auto slot_size = world_.config().device.buffer_size;
@@ -142,7 +138,8 @@ ib::MemoryRegionHandle Device::pin(std::byte* addr, std::size_t len) {
 }
 
 void Device::charge(sim::Duration d) {
-  if (proc_ != nullptr && d > sim::Duration::zero()) proc_->delay(d);
+  if (allow_charge_ && proc_ != nullptr && d > sim::Duration::zero())
+    proc_->delay(d);
 }
 
 void Device::charge_copy(std::size_t bytes) {
@@ -159,6 +156,12 @@ RequestPtr Device::isend(Rank dst, Tag tag, std::span<const std::byte> data,
   charge(dcfg.send_overhead);
   Endpoint& ep = ensure_endpoint(dst);
   auto req = std::make_shared<Request>(RequestKind::send, next_rndv_id_++);
+  if (ep.failed) {
+    // The connection is dead: complete immediately with error status
+    // instead of queueing data that can never leave.
+    fail_request(req);
+    return req;
+  }
   stats_.payload_bytes_sent += data.size();
 
   if (mode == SendMode::synchronous) {
@@ -299,6 +302,7 @@ void Device::post_wire(Endpoint& ep, WireHeader hdr,
   util::check(payload.size() + kHeaderBytes <= world_.config().device.buffer_size,
               "wire message exceeds buffer size");
   hdr.src_rank = me_;
+  hdr.seq = ep.tx_seq++;
   hdr.piggyback_credits = ep.flow.take_return_credits();
   if (hdr.kind == MsgKind::rndv_cts || hdr.kind == MsgKind::rndv_fin)
     ep.flow.note_control_sent();
@@ -311,13 +315,17 @@ void Device::post_wire(Endpoint& ep, WireHeader hdr,
     std::memcpy(addr + kHeaderBytes, payload.data(), payload.size());
 
   const std::uint64_t txid = next_tx_id_++;
-  tx_.emplace(txid, TxCtx{false, slot, 0});
   ib::SendWr wr;
   wr.wr_id = txid;
   wr.opcode = ib::WrOpcode::send;
   wr.local_addr = addr;
   wr.length = kHeaderBytes + static_cast<std::uint32_t>(payload.size());
   wr.lkey = bounce_lkey(slot);
+  TxCtx ctx;
+  ctx.bounce_slot = slot;
+  ctx.peer = ep.peer;
+  ctx.wr = wr;
+  tx_.emplace(txid, std::move(ctx));
   ep.qp->post_send(wr);
 }
 
@@ -329,13 +337,24 @@ RequestPtr Device::irecv(Rank src, Tag tag, std::span<std::byte> buffer) {
   charge(dcfg.recv_post_overhead);
   auto req = std::make_shared<Request>(RequestKind::recv, next_rndv_id_++);
 
+  if (src != kAnySource) {
+    const auto it = endpoints_.find(src);
+    if (it != endpoints_.end() && it->second->failed) {
+      // Nothing can ever arrive from a dead connection: fail fast rather
+      // than park a receive that would hang the rank.
+      fail_request(req);
+      return req;
+    }
+  }
+
   if (auto um = match_.match_posted(src, tag)) {
     if (!um->is_rndv) {
       util::require(um->eager_payload.size() <= buffer.size(),
                     "receive buffer too small (truncation)");
       charge_copy(um->eager_payload.size());
-      std::memcpy(buffer.data(), um->eager_payload.data(),
-                  um->eager_payload.size());
+      if (!um->eager_payload.empty())  // zero-byte recv may carry a null buffer
+        std::memcpy(buffer.data(), um->eager_payload.data(),
+                    um->eager_payload.size());
       req->mark_complete(Status{um->src, um->tag,
                                 static_cast<std::uint32_t>(um->eager_payload.size())});
       return req;
@@ -385,9 +404,19 @@ void Device::progress() {
 }
 
 void Device::handle_completion(const ib::Completion& wc) {
-  util::check(wc.ok(), "unexpected completion error in MPI device");
+  const auto pit = qp_to_peer_.find(wc.qp_num);
+  if (pit == qp_to_peer_.end()) {
+    // Flushed CQE from a QP that recovery already destroyed and replaced.
+    // Its tx entry (if any) stays: the replacement QP replays it.
+    ++stats_.stale_completions;
+    return;
+  }
+  Endpoint& ep = *endpoints_.at(pit->second);
+  if (!wc.ok()) {
+    handle_error_completion(ep, wc);
+    return;
+  }
   if (wc.opcode == ib::WcOpcode::recv) {
-    Endpoint& ep = endpoint_for_qp(wc.qp_num);
     handle_inbound(ep, wc.wr_id, wc.byte_len);
     return;
   }
@@ -412,6 +441,132 @@ void Device::handle_completion(const ib::Completion& wc) {
   send_rndv_.erase(sit);
 }
 
+// -------------------------------------------------------- fault handling --
+
+void Device::fail_request(const RequestPtr& req) {
+  if (req && !req->complete()) {
+    req->mark_error();
+    ++stats_.requests_failed;
+  }
+}
+
+void Device::handle_error_completion(Endpoint& ep, const ib::Completion& wc) {
+  ++stats_.error_completions;
+  const bool reconnect = world_.config().device.auto_reconnect;
+  if (wc.opcode != ib::WcOpcode::recv) {
+    const auto it = tx_.find(wc.wr_id);
+    if (it != tx_.end() && !reconnect) {
+      // Permanent failure: retire the message. Under auto_reconnect the
+      // entry stays so finish_reconnect can replay the post verbatim.
+      const TxCtx ctx = it->second;
+      tx_.erase(it);
+      if (!ctx.is_rdma_write) {
+        release_bounce_slot(ctx.bounce_slot);
+      } else if (auto sit = send_rndv_.find(ctx.rndv_id);
+                 sit != send_rndv_.end()) {
+        fail_request(sit->second.req);
+        send_rndv_.erase(sit);
+      }
+    }
+  }
+  // Recv errors carry no state: the slots are reposted on reconnect or die
+  // with the endpoint.
+  if (ep.failed || ep.recovering) return;
+  if (reconnect) {
+    begin_recovery(ep);
+  } else {
+    fail_endpoint(ep);
+  }
+}
+
+void Device::fail_endpoint(Endpoint& ep) {
+  if (ep.failed) return;
+  ep.failed = true;
+  ep.famine_rts_inflight = false;
+  ++stats_.endpoint_failures;
+  // Every request bound to this connection completes now, with error
+  // status — the rank keeps running instead of hanging in wait().
+  for (auto it = send_rndv_.begin(); it != send_rndv_.end();) {
+    if (it->second.dst == ep.peer) {
+      fail_request(it->second.req);
+      it = send_rndv_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = recv_rndv_.begin(); it != recv_rndv_.end();) {
+    if (it->second.src == ep.peer) {
+      fail_request(it->second.req);
+      it = recv_rndv_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (BacklogEntry& entry : ep.backlog) fail_request(entry.eager_req);
+  ep.backlog.clear();
+  for (PostedRecv& pr : match_.extract_posted(ep.peer)) fail_request(pr.req);
+}
+
+void Device::begin_recovery(Endpoint& ep) {
+  ep.recovering = true;
+  const Rank peer = ep.peer;
+  world_.engine().schedule_after(
+      world_.config().device.reconnect_delay,
+      [this, peer] { world_.recover_pair(me_, peer); });
+}
+
+void Device::prepare_reconnect(Rank peer) {
+  Endpoint& ep = *endpoints_.at(peer);
+  ep.recovering = true;
+  ep.famine_rts_inflight = false;
+  // Drain the CQ first: messages the old QP delivered but the rank has not
+  // polled yet must be applied before their seq numbers are replayed (the
+  // sender may have consumed their ACKs and dropped them from tx_).
+  // Engine-event context — host-time charging is illegal here.
+  allow_charge_ = false;
+  while (auto wc = cq_->poll()) handle_completion(*wc);
+  allow_charge_ = true;
+  ep.retired_qp.accumulate(ep.qp->stats());
+  ep.qp->modify_error();
+  qp_to_peer_.erase(ep.qp->qpn());
+  hca_->destroy_qp(ep.qp->qpn());
+  ep.qp = hca_->create_qp(cq_, cq_);
+  qp_to_peer_.emplace(ep.qp->qpn(), peer);
+}
+
+void Device::finish_reconnect(Rank peer, int peer_posted) {
+  Endpoint& ep = *endpoints_.at(peer);
+  util::check(ep.qp->connected(), "finish_reconnect before connect");
+  // Repost the entire receive pool on the fresh QP (the old QP flushed or
+  // lost every posted buffer).
+  for (std::size_t i = 0; i < ep.slots.size(); ++i) post_slot(ep, i);
+  // Replay every wire message the old QP never acknowledged, in original
+  // post order (tx ids are monotonic). Piggybacked credits are zeroed: the
+  // credit exchange restarts from the reposted pool, and a stale grant
+  // would double-count. Duplicates are filtered by the receiver's rx_seq.
+  int credited_replays = 0;
+  allow_charge_ = false;
+  for (auto& [txid, ctx] : tx_) {
+    if (ctx.peer != peer) continue;
+    if (!ctx.is_rdma_write) {
+      WireHeader hdr = read_header(bounce_addr(ctx.bounce_slot));
+      if (is_credited(hdr.kind) && hdr.optimistic == 0) ++credited_replays;
+      hdr.piggyback_credits = 0;
+      write_header(bounce_addr(ctx.bounce_slot), hdr);
+    }
+    ep.qp->post_send(ctx.wr);
+    ++stats_.replayed_wire_msgs;
+  }
+  // The peer reposted its whole pool, so our credits restart at its pool
+  // size minus the credited messages we just put back in flight.
+  ep.flow.reconnect_reset(peer_posted - credited_replays);
+  ep.failed = false;
+  ep.recovering = false;
+  ++stats_.reconnects;
+  drain_backlog(ep);
+  allow_charge_ = true;
+}
+
 void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
                             std::uint32_t byte_len) {
   (void)byte_len;
@@ -424,6 +579,24 @@ void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
     case MsgKind::rndv_rts: charge(dcfg.rts_handle_overhead); break;
     default: charge(dcfg.ctrl_handle_overhead); break;
   }
+
+  if (hdr.seq != ep.rx_seq) {
+    // Reconnect replays the sender's unacked tail, so older sequence
+    // numbers reappear; apply each exactly once. A *gap* would mean a
+    // message was truly lost — the reliability layer must never allow it.
+    util::check(hdr.seq < ep.rx_seq, "wire sequence gap (message lost)");
+    ++stats_.duplicate_wire_msgs;
+    // The buffer still goes back to the pool, and a credited duplicate
+    // still returns a credit: the sender counted it against the reposted
+    // pool when it replayed.
+    post_slot(ep, slot_idx);
+    if (is_credited(hdr.kind) && hdr.optimistic == 0 &&
+        ep.flow.on_credited_repost()) {
+      send_ecm(ep);
+    }
+    return;
+  }
+  ++ep.rx_seq;
 
   if (hdr.piggyback_credits > 0) ep.flow.add_credits(hdr.piggyback_credits);
   if (hdr.backlogged != 0) {
@@ -462,7 +635,8 @@ void Device::deliver_eager(Endpoint& ep, const WireHeader& hdr,
   if (auto pr = match_.match_inbound(ep.peer, hdr.tag)) {
     util::require(hdr.payload_bytes <= pr->capacity,
                   "receive buffer too small (truncation)");
-    std::memcpy(pr->buffer, payload, hdr.payload_bytes);
+    if (hdr.payload_bytes > 0)  // zero-byte recv may carry a null buffer
+      std::memcpy(pr->buffer, payload, hdr.payload_bytes);
     pr->req->mark_complete(Status{ep.peer, hdr.tag, hdr.payload_bytes});
     return;
   }
@@ -507,7 +681,6 @@ void Device::handle_cts(Endpoint& ep, const WireHeader& hdr) {
     return;
   }
   const std::uint64_t txid = next_tx_id_++;
-  tx_.emplace(txid, TxCtx{true, 0, hdr.sreq});
   ib::SendWr wr;
   wr.wr_id = txid;
   wr.opcode = ib::WrOpcode::rdma_write;
@@ -516,6 +689,12 @@ void Device::handle_cts(Endpoint& ep, const WireHeader& hdr) {
   wr.lkey = ctx.mr.lkey;
   wr.remote_addr = reinterpret_cast<std::byte*>(hdr.raddr);
   wr.rkey = hdr.rkey;
+  TxCtx tctx;
+  tctx.is_rdma_write = true;
+  tctx.rndv_id = hdr.sreq;
+  tctx.peer = ep.peer;
+  tctx.wr = wr;
+  tx_.emplace(txid, std::move(tctx));
   ep.qp->post_send(wr);
 }
 
@@ -557,8 +736,12 @@ const flowctl::ConnectionFlow& Device::flow(Rank peer) const {
   return endpoints_.at(peer)->flow;
 }
 
-const ib::QpStats& Device::qp_stats(Rank peer) const {
-  return endpoints_.at(peer)->qp->stats();
+ib::QpStats Device::qp_stats(Rank peer) const {
+  const Endpoint& ep = *endpoints_.at(peer);
+  ib::QpStats out = ep.retired_qp;
+  out.accumulate(ep.qp->stats());
+  out.last_advertised_credits = ep.qp->stats().last_advertised_credits;
+  return out;
 }
 
 std::vector<Rank> Device::peers() const {

@@ -38,6 +38,14 @@ struct DeviceStats {
   std::uint64_t reg_cache_hits = 0;
   std::uint64_t reg_cache_misses = 0;
   std::size_t max_unexpected = 0;
+  // ---- fault handling ----
+  std::uint64_t error_completions = 0;   ///< CQEs with a failure status.
+  std::uint64_t stale_completions = 0;   ///< CQEs from destroyed (replaced) QPs.
+  std::uint64_t duplicate_wire_msgs = 0; ///< Replays already applied (seq dedup).
+  std::uint64_t replayed_wire_msgs = 0;  ///< Unacked messages re-posted on reconnect.
+  std::uint64_t endpoint_failures = 0;   ///< Connections declared dead.
+  std::uint64_t reconnects = 0;          ///< Connections rebuilt after a QP error.
+  std::uint64_t requests_failed = 0;     ///< Requests completed with error status.
 };
 
 class Device {
@@ -69,10 +77,26 @@ class Device {
   bool has_endpoint(Rank peer) const { return endpoints_.count(peer) != 0; }
   std::size_t endpoint_count() const { return endpoints_.size(); }
 
+  // ---- fault recovery (driven by World::recover_pair) ----
+  /// Phase 1 of reconnecting to `peer`: drain the CQ, retire the errored
+  /// QP (accumulating its stats) and create a fresh, unconnected one.
+  void prepare_reconnect(Rank peer);
+  /// Phase 2, after the fresh QPs are connected: repost the whole receive
+  /// pool, replay unacknowledged wire messages, and reset credit state to
+  /// `peer_posted` minus the credited replays in flight.
+  void finish_reconnect(Rank peer, int peer_posted);
+
   // ---- introspection ----
   const DeviceStats& stats() const noexcept { return stats_; }
   const flowctl::ConnectionFlow& flow(Rank peer) const;
-  const ib::QpStats& qp_stats(Rank peer) const;
+  /// Live QP counters plus everything accumulated from QPs retired by
+  /// recovery (so retransmit/NAK counts survive a reconnect).
+  ib::QpStats qp_stats(Rank peer) const;
+  bool endpoint_failed(Rank peer) const { return endpoints_.at(peer)->failed; }
+  bool endpoint_recovering(Rank peer) const {
+    return endpoints_.at(peer)->recovering;
+  }
+  ib::QueuePair& endpoint_qp(Rank peer) { return *endpoints_.at(peer)->qp; }
   std::vector<Rank> peers() const;
 
  private:
@@ -100,12 +124,26 @@ class Device {
     /// A famine (optimistic) RTS is outstanding: its CTS has not arrived
     /// yet. Throttles optimistic sends to one at a time per connection.
     bool famine_rts_inflight = false;
+    /// The connection is dead (QP error, auto_reconnect off): every
+    /// outstanding request failed and new ones fail fast.
+    bool failed = false;
+    /// A QP error occurred and a reconnect is scheduled / in progress.
+    bool recovering = false;
+    /// Per-connection wire sequencing: next seq to stamp on an outgoing
+    /// message / next seq expected inbound. Reconnect replays duplicate
+    /// the tail, so the receiver applies each seq exactly once.
+    std::uint64_t tx_seq = 0;
+    std::uint64_t rx_seq = 0;
+    /// Stats accumulated from QPs destroyed by recovery.
+    ib::QpStats retired_qp;
     explicit Endpoint(const flowctl::Config& cfg) : flow(cfg) {}
   };
   struct TxCtx {
     bool is_rdma_write = false;
     std::size_t bounce_slot = 0;   // !is_rdma_write
     std::uint64_t rndv_id = 0;     // is_rdma_write
+    Rank peer = -1;
+    ib::SendWr wr;  ///< Kept so recovery can replay the post verbatim.
   };
   struct SendRndv {
     Rank dst = -1;
@@ -132,9 +170,15 @@ class Device {
   };
 
   Endpoint& ensure_endpoint(Rank peer);
-  Endpoint& endpoint_for_qp(ib::QpNumber qpn);
 
   void handle_completion(const ib::Completion& wc);
+  void handle_error_completion(Endpoint& ep, const ib::Completion& wc);
+  /// Complete a request with error status (idempotent, null-safe).
+  void fail_request(const RequestPtr& req);
+  /// Declare the connection dead: fail every request bound to it.
+  void fail_endpoint(Endpoint& ep);
+  /// Schedule World::recover_pair after the configured reconnect delay.
+  void begin_recovery(Endpoint& ep);
   void handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
                       std::uint32_t byte_len);
   void deliver_eager(Endpoint& ep, const WireHeader& hdr,
@@ -179,6 +223,9 @@ class Device {
   World& world_;
   Rank me_;
   sim::Process* proc_ = nullptr;
+  /// Recovery runs in engine-event context where Process::delay is illegal;
+  /// host-time charging is suppressed for its duration.
+  bool allow_charge_ = true;
   ib::Hca* hca_ = nullptr;
   std::shared_ptr<ib::CompletionQueue> cq_;
 

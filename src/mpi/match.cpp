@@ -16,6 +16,19 @@ std::optional<PostedRecv> MatchQueue::match_inbound(Rank src, Tag tag) {
   return std::nullopt;
 }
 
+std::vector<PostedRecv> MatchQueue::extract_posted(Rank src) {
+  std::vector<PostedRecv> out;
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if (it->src == src) {
+      out.push_back(std::move(*it));
+      it = posted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
 std::optional<UnexpectedMsg> MatchQueue::match_posted(Rank src, Tag tag) {
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (matches(src, tag, it->src, it->tag)) {

@@ -47,6 +47,11 @@ class MatchQueue {
   void add_posted(PostedRecv pr) { posted_.push_back(std::move(pr)); }
   void add_unexpected(UnexpectedMsg um) { unexpected_.push_back(std::move(um)); }
 
+  /// Remove and return every posted receive bound to exactly `src`.
+  /// Wildcard-source receives stay: another peer may still satisfy them.
+  /// Used when a connection fails permanently.
+  std::vector<PostedRecv> extract_posted(Rank src);
+
   std::size_t posted_count() const noexcept { return posted_.size(); }
   std::size_t unexpected_count() const noexcept { return unexpected_.size(); }
   std::size_t max_unexpected() const noexcept { return max_unexpected_; }

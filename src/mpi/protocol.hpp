@@ -46,6 +46,10 @@ struct WireHeader {
   std::uint64_t rreq = 0;   ///< Receiver-side rendezvous op id (cts/fin).
   std::uint64_t raddr = 0;  ///< cts: pinned destination address.
   std::uint32_t rkey = 0;   ///< cts: destination rkey.
+  /// Per-connection wire sequence number. QP recovery replays messages the
+  /// old QP never acknowledged, so the receiver may see a message twice;
+  /// it applies each sequence number exactly once.
+  std::uint64_t seq = 0;
 };
 
 /// Bytes a header occupies on the wire (padded for alignment headroom).

@@ -19,6 +19,10 @@ class Request {
   RequestKind kind() const noexcept { return kind_; }
   std::uint64_t id() const noexcept { return id_; }
   bool complete() const noexcept { return complete_; }
+  /// The operation finished unsuccessfully (its connection failed). The
+  /// request still counts as complete so wait/test return instead of
+  /// hanging; the data never transferred.
+  bool failed() const noexcept { return failed_; }
   const Status& status() const noexcept { return status_; }
 
   // Progress-engine side.
@@ -27,11 +31,16 @@ class Request {
     complete_ = true;
   }
   void mark_complete() { complete_ = true; }
+  void mark_error() {
+    failed_ = true;
+    complete_ = true;
+  }
 
  private:
   RequestKind kind_;
   std::uint64_t id_;
   bool complete_ = false;
+  bool failed_ = false;
   Status status_;
 };
 

@@ -77,6 +77,26 @@ void World::wire_pair(Rank a, Rank b) {
   device(b).activate_endpoint(a);
 }
 
+void World::recover_pair(Rank a, Rank b) {
+  Device& da = device(a);
+  Device& db = device(b);
+  if (!da.endpoint_recovering(b) && !db.endpoint_recovering(a)) return;
+  da.prepare_reconnect(b);
+  if (a == b) {
+    ib::Fabric::connect_loopback(da.endpoint_qp(b));
+    da.finish_reconnect(b, da.flow(b).current_posted());
+    return;
+  }
+  db.prepare_reconnect(a);
+  ib::Fabric::connect(da.endpoint_qp(b), db.endpoint_qp(a));
+  // Each side's send credits restart from the pool the *other* side just
+  // reposted.
+  const int posted_at_b = db.flow(a).current_posted();
+  const int posted_at_a = da.flow(b).current_posted();
+  da.finish_reconnect(b, posted_at_b);
+  db.finish_reconnect(a, posted_at_a);
+}
+
 sim::Duration World::run(const RankBody& body) {
   std::vector<RankBody> bodies(static_cast<std::size_t>(cfg_.num_ranks), body);
   return run(bodies);

@@ -89,6 +89,13 @@ class World {
   /// activated). Used at init (eager mode) and by on-demand setup.
   void wire_pair(Rank a, Rank b);
 
+  /// Rebuild a failed connection (DeviceConfig::auto_reconnect): retire
+  /// both errored QPs, connect a fresh pair, repost the receive pools and
+  /// replay unacknowledged wire traffic. Scheduled by the devices after a
+  /// QP error; no-op when neither side is still recovering (both devices
+  /// schedule it, the first firing repairs the pair).
+  void recover_pair(Rank a, Rank b);
+
   /// Collect per-connection / per-device / fabric statistics.
   WorldStats collect_stats() const;
 
