@@ -1,8 +1,10 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flowctl/flowctl.hpp"
@@ -12,6 +14,66 @@
 #include "util/table.hpp"
 
 namespace mvflow::bench {
+
+/// Machine-readable benchmark record, written as `BENCH_<name>.json` in the
+/// working directory so the perf trajectory can accumulate across runs and
+/// CI artifacts. One object per run: the figure points plus the wall-clock
+/// cost of producing them.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// One figure point as ordered (key, value) pairs.
+  void add_point(std::vector<std::pair<std::string, double>> kv) {
+    points_.push_back(std::move(kv));
+  }
+
+  /// Extra top-level scalar (e.g. counter totals).
+  void add_meta(std::string key, double value) {
+    meta_.emplace_back(std::move(key), value);
+  }
+
+  void write(double wall_seconds) const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;  // read-only cwd: table output still tells the story
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n", name_.c_str());
+    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall_seconds);
+    for (const auto& [k, v] : meta_)
+      std::fprintf(f, "  \"%s\": %.17g,\n", k.c_str(), v);
+    std::fprintf(f, "  \"points\": [");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      for (std::size_t j = 0; j < points_[i].size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %.17g", j == 0 ? "" : ", ",
+                     points_[i][j].first.c_str(), points_[i][j].second);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> meta_;
+  std::vector<std::vector<std::pair<std::string, double>>> points_;
+};
+
+/// Wall-clock stopwatch for the self-benchmarking (host time, not simulated
+/// time — the one place where real time is the measurement).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline const flowctl::Scheme kSchemes[] = {
     flowctl::Scheme::hardware, flowctl::Scheme::user_static,

@@ -3,47 +3,22 @@
 // overhead is negligible — all three schemes are comparable.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "bench_common.hpp"
+#include "fig_latency.hpp"
 
 using namespace mvflow;
 using namespace mvflow::bench;
-
-namespace {
-
-double pingpong_us(flowctl::Scheme scheme, std::size_t bytes, int iters) {
-  mpi::World world(base_config(scheme, /*prepost=*/100));
-  const auto elapsed = world.run([&](mpi::Communicator& comm) {
-    std::vector<std::byte> buf(bytes == 0 ? 1 : bytes);
-    const auto span_all = std::span<std::byte>(buf.data(), bytes);
-    for (int i = 0; i < iters; ++i) {
-      if (comm.rank() == 0) {
-        comm.send(span_all, 1, 0);
-        comm.recv(span_all, 1, 0);
-      } else {
-        comm.recv(span_all, 0, 0);
-        comm.send(span_all, 0, 0);
-      }
-    }
-  });
-  return sim::to_us(elapsed) / (2.0 * iters);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const int iters = static_cast<int>(opts.get_int("iters", 200));
 
   std::puts("# Figure 2: MPI one-way latency (us), ping-pong, prepost=100");
-  util::Table t({"size_bytes", "hardware_us", "static_us", "dynamic_us"});
-  for (std::size_t bytes : {4u, 16u, 64u, 256u, 512u, 1024u, 1984u, 4096u}) {
-    std::vector<double> row;
-    for (auto scheme : kSchemes) row.push_back(pingpong_us(scheme, bytes, iters));
-    t.add(bytes, row[0], row[1], row[2]);
-  }
+  WallTimer wall;
+  BenchJson json("fig2_latency");
+  const util::Table t = build_fig2_table(iters, &json);
   t.print(std::cout);
+  json.write(wall.seconds());
   std::puts("\n# Expectation (paper): all three schemes within a few percent;");
   std::puts("# the hardware scheme has the least bookkeeping but the gap is noise.");
   return 0;

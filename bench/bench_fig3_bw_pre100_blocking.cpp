@@ -2,7 +2,7 @@
 #include "bw_figure.hpp"
 int main() {
   return mvflow::bench::run_bw_figure(
-      "Figure 3: MPI bandwidth, 4-byte messages, prepost=100, blocking", 4, 100,
-      true,
+      "Figure 3: MPI bandwidth, 4-byte messages, prepost=100, blocking",
+      "fig3_bw_pre100_blocking", 4, 100, true,
       "window never exceeds the credits, so all three schemes are comparable");
 }

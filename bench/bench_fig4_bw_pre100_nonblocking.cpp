@@ -2,7 +2,7 @@
 #include "bw_figure.hpp"
 int main() {
   return mvflow::bench::run_bw_figure(
-      "Figure 4: MPI bandwidth, 4-byte messages, prepost=100, non-blocking", 4,
+      "Figure 4: MPI bandwidth, 4-byte messages, prepost=100, non-blocking", "fig4_bw_pre100_nonblocking", 4,
       100, false,
       "window never exceeds the credits, so all three schemes are comparable");
 }

@@ -2,7 +2,7 @@
 #include "bw_figure.hpp"
 int main() {
   return mvflow::bench::run_bw_figure(
-      "Figure 8: MPI bandwidth, 32K-byte messages, prepost=10, non-blocking",
+      "Figure 8: MPI bandwidth, 32K-byte messages, prepost=10, non-blocking", "fig8_bw_32k_nonblocking",
       32 * 1024, 10, false,
       "all schemes comparable; non-blocking clearly beats the blocking "
       "version through communication overlap");

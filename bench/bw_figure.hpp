@@ -8,14 +8,13 @@
 
 namespace mvflow::bench {
 
-/// Print one bandwidth figure: msgs/s (and MB/s for large payloads) for
-/// the three schemes as the window size sweeps past the pre-post depth.
-inline int run_bw_figure(const char* title, std::size_t msg_bytes, int prepost,
-                         bool blocking, const char* expectation) {
-  std::printf("# %s\n", title);
-  std::printf("# msg=%zuB prepost=%d %s\n", msg_bytes, prepost,
-              blocking ? "blocking (MPI_Send/MPI_Recv)"
-                       : "non-blocking (MPI_Isend/MPI_Irecv)");
+/// Build the bandwidth table for one figure: msgs/s (and MB/s for large
+/// payloads) for the three schemes as the window size sweeps past the
+/// pre-post depth. Separated from printing so the golden-determinism test
+/// can hash the exact table the bench binary prints. When `json` is given,
+/// every row is also recorded as a figure point.
+inline util::Table build_bw_table(std::size_t msg_bytes, int prepost,
+                                  bool blocking, BenchJson* json = nullptr) {
   util::Table t({"window", "hardware_Mmsg/s", "static_Mmsg/s", "dynamic_Mmsg/s",
                  "hardware_MB/s", "static_MB/s", "dynamic_MB/s"});
   for (int window : {1, 2, 4, 8, 10, 16, 25, 50, 75, 100}) {
@@ -28,8 +27,32 @@ inline int run_bw_figure(const char* title, std::size_t msg_bytes, int prepost,
       ++i;
     }
     t.add(window, mm[0], mm[1], mm[2], mb[0], mb[1], mb[2]);
+    if (json) {
+      json->add_point({{"window", static_cast<double>(window)},
+                       {"hardware_Mmsg_s", mm[0]},
+                       {"static_Mmsg_s", mm[1]},
+                       {"dynamic_Mmsg_s", mm[2]},
+                       {"hardware_MB_s", mb[0]},
+                       {"static_MB_s", mb[1]},
+                       {"dynamic_MB_s", mb[2]}});
+    }
   }
+  return t;
+}
+
+/// Print one bandwidth figure and write `BENCH_<json_name>.json` beside it.
+inline int run_bw_figure(const char* title, const char* json_name,
+                         std::size_t msg_bytes, int prepost, bool blocking,
+                         const char* expectation) {
+  std::printf("# %s\n", title);
+  std::printf("# msg=%zuB prepost=%d %s\n", msg_bytes, prepost,
+              blocking ? "blocking (MPI_Send/MPI_Recv)"
+                       : "non-blocking (MPI_Isend/MPI_Irecv)");
+  WallTimer wall;
+  BenchJson json(json_name);
+  const util::Table t = build_bw_table(msg_bytes, prepost, blocking, &json);
   t.print(std::cout);
+  json.write(wall.seconds());
   std::printf("\n# Expectation (paper): %s\n", expectation);
   return 0;
 }

@@ -1,0 +1,49 @@
+// Shared driver for Figure 2: the small-message ping-pong latency sweep.
+// Separated from the bench main so the golden-determinism test can hash the
+// exact table the bench binary prints.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace mvflow::bench {
+
+inline double pingpong_us(flowctl::Scheme scheme, std::size_t bytes,
+                          int iters) {
+  mpi::World world(base_config(scheme, /*prepost=*/100));
+  const auto elapsed = world.run([&](mpi::Communicator& comm) {
+    std::vector<std::byte> buf(bytes == 0 ? 1 : bytes);
+    const auto span_all = std::span<std::byte>(buf.data(), bytes);
+    for (int i = 0; i < iters; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(span_all, 1, 0);
+        comm.recv(span_all, 1, 0);
+      } else {
+        comm.recv(span_all, 0, 0);
+        comm.send(span_all, 0, 0);
+      }
+    }
+  });
+  return sim::to_us(elapsed) / (2.0 * iters);
+}
+
+/// One-way latency (us) for the three schemes across the paper's sizes.
+inline util::Table build_fig2_table(int iters, BenchJson* json = nullptr) {
+  util::Table t({"size_bytes", "hardware_us", "static_us", "dynamic_us"});
+  for (std::size_t bytes : {4u, 16u, 64u, 256u, 512u, 1024u, 1984u, 4096u}) {
+    std::vector<double> row;
+    for (auto scheme : kSchemes) row.push_back(pingpong_us(scheme, bytes, iters));
+    t.add(bytes, row[0], row[1], row[2]);
+    if (json) {
+      json->add_point({{"size_bytes", static_cast<double>(bytes)},
+                       {"hardware_us", row[0]},
+                       {"static_us", row[1]},
+                       {"dynamic_us", row[2]}});
+    }
+  }
+  return t;
+}
+
+}  // namespace mvflow::bench

@@ -3,12 +3,12 @@
 // single CQ). Consumers poll; blocking consumers wait on nonempty().
 #pragma once
 
-#include <deque>
 #include <optional>
 
 #include "ib/types.hpp"
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
+#include "util/flat_fifo.hpp"
 
 namespace mvflow::ib {
 
@@ -36,7 +36,7 @@ class CompletionQueue {
 
  private:
   sim::Engine& engine_;
-  std::deque<Completion> entries_;
+  util::FlatFifo<Completion> entries_;
   sim::Condition nonempty_;
   std::uint64_t total_pushed_ = 0;
 };

@@ -136,9 +136,26 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
 
   if (faults && !apply_faults(src_node, dst_node, pkt)) return;
 
-  engine_.schedule_at(arrive, [this, dst_node, p = std::move(pkt)] {
-    deliver(dst_node, p);
-  });
+  // The packet (and its pooled-message reference) moves into the event's
+  // inline storage: no payload copy, no refcount churn, no allocation per
+  // hop. The static_assert keeps this closure inside the engine's inline
+  // buffer — growing Packet past it should be a conscious decision.
+  auto delivery = [this, dst_node, p = std::move(pkt)] { deliver(dst_node, p); };
+  static_assert(sizeof(delivery) <= sim::Engine::kEventInlineBytes,
+                "packet-delivery closure no longer fits the engine's inline "
+                "event storage");
+  engine_.schedule_at(arrive, std::move(delivery));
+}
+
+MessageDataPool::Stats Fabric::msg_pool_stats() const {
+  MessageDataPool::Stats total;
+  for (const auto& node : nodes_) {
+    const MessageDataPool::Stats& s = node->msg_pool().stats();
+    total.acquires += s.acquires;
+    total.reuses += s.reuses;
+    total.allocs += s.allocs;
+  }
+  return total;
 }
 
 void Fabric::deliver(int node, const Packet& pkt) {

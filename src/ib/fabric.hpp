@@ -55,6 +55,10 @@ class Fabric {
 
   const FabricStats& stats() const noexcept { return stats_; }
 
+  /// Message-pool counters aggregated over every HCA (hit rate ≈ 1.0 after
+  /// warmup is the zero-alloc steady-state invariant).
+  MessageDataPool::Stats msg_pool_stats() const;
+
   /// Link utilization of a node's uplink (toward the switch).
   sim::Duration uplink_busy(int node) const { return up_.at(node).total_busy(); }
 

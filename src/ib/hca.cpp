@@ -26,17 +26,25 @@ std::shared_ptr<QueuePair> Hca::create_qp(
   const QpNumber qpn = fabric_.alloc_qpn();
   auto qp = std::make_shared<QueuePair>(*this, qpn, std::move(send_cq),
                                         std::move(recv_cq), type);
-  qps_.emplace(qpn, qp);
+  qps_.emplace_back(qpn, qp);
   return qp;
 }
 
 void Hca::destroy_qp(QpNumber qpn) {
-  util::require(qps_.erase(qpn) == 1, "destroy of unknown QP");
+  for (auto it = qps_.begin(); it != qps_.end(); ++it) {
+    if (it->first == qpn) {
+      qps_.erase(it);
+      return;
+    }
+  }
+  util::require(false, "destroy of unknown QP");
 }
 
 QueuePair* Hca::find_qp(QpNumber qpn) {
-  const auto it = qps_.find(qpn);
-  return it == qps_.end() ? nullptr : it->second.get();
+  for (const auto& [n, qp] : qps_) {
+    if (n == qpn) return qp.get();
+  }
+  return nullptr;
 }
 
 }  // namespace mvflow::ib

@@ -2,12 +2,14 @@
 // memory registry, completion queues, and queue pairs.
 #pragma once
 
-#include <map>
+#include <utility>
+#include <vector>
 #include <memory>
 #include <span>
 
 #include "ib/cq.hpp"
 #include "ib/memory.hpp"
+#include "ib/msg_pool.hpp"
 #include "ib/qp.hpp"
 #include "ib/types.hpp"
 
@@ -42,11 +44,20 @@ class Hca {
   MemoryRegistry& memory() noexcept { return memory_; }
   const MemoryRegistry& memory() const noexcept { return memory_; }
 
+  /// Pool backing every message this HCA originates (sends, UD datagrams,
+  /// RDMA-read responses). Buffers recycle only after final completion.
+  MessageDataPool& msg_pool() noexcept { return *msg_pool_; }
+  const MessageDataPool& msg_pool() const noexcept { return *msg_pool_; }
+
  private:
   Fabric& fabric_;
   int node_id_;
   MemoryRegistry memory_;
-  std::map<QpNumber, std::shared_ptr<QueuePair>> qps_;
+  std::shared_ptr<MessageDataPool> msg_pool_ =
+      std::make_shared<MessageDataPool>();
+  // A node owns a handful of QPs and find_qp runs once per delivered
+  // packet, so the lookup is a linear scan of a flat array, not a tree.
+  std::vector<std::pair<QpNumber, std::shared_ptr<QueuePair>>> qps_;
 };
 
 }  // namespace mvflow::ib

@@ -1,5 +1,7 @@
 #include "ib/memory.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mvflow::ib {
@@ -13,34 +15,52 @@ MemoryRegionHandle MemoryRegistry::register_region(std::span<std::byte> region,
   info.access = access;
   info.lkey = next_key_++;
   info.rkey = next_key_++;
-  by_lkey_.emplace(info.lkey, info);
-  rkey_to_lkey_.emplace(info.rkey, info.lkey);
+  regions_.push_back(info);
   registered_bytes_ += info.length;
   return MemoryRegionHandle{info.lkey, info.rkey};
 }
 
 void MemoryRegistry::deregister(MemoryRegionHandle handle) {
-  const auto it = by_lkey_.find(handle.lkey);
-  util::require(it != by_lkey_.end(), "deregister of unknown region");
-  registered_bytes_ -= it->second.length;
-  rkey_to_lkey_.erase(it->second.rkey);
-  by_lkey_.erase(it);
+  const auto it =
+      std::find_if(regions_.begin(), regions_.end(),
+                   [&](const RegionInfo& r) { return r.lkey == handle.lkey; });
+  util::require(it != regions_.end(), "deregister of unknown region");
+  registered_bytes_ -= it->length;
+  regions_.erase(it);
+}
+
+const RegionInfo* MemoryRegistry::find_lkey(std::uint32_t lkey) const noexcept {
+  for (const RegionInfo& r : regions_) {
+    if (r.lkey == lkey) return &r;
+  }
+  return nullptr;
 }
 
 bool MemoryRegistry::check_local(const std::byte* addr, std::size_t len,
                                  std::uint32_t lkey, Access needed) const {
-  const auto it = by_lkey_.find(lkey);
-  if (it == by_lkey_.end()) return false;
-  const RegionInfo& r = it->second;
-  if (!has_access(r.access, needed)) return false;
-  if (addr < r.base) return false;
-  return static_cast<std::size_t>(addr - r.base) + len <= r.length;
+  const RegionInfo* r = find_lkey(lkey);
+  if (r == nullptr) return false;
+  if (!has_access(r->access, needed)) return false;
+  if (addr < r->base) return false;
+  return static_cast<std::size_t>(addr - r->base) + len <= r->length;
+}
+
+std::byte* MemoryRegistry::local_write_ptr(const std::byte* addr,
+                                           std::size_t len,
+                                           std::uint32_t lkey) const {
+  const RegionInfo* r = find_lkey(lkey);
+  if (r == nullptr) return nullptr;
+  if (!has_access(r->access, Access::local_write)) return nullptr;
+  if (addr < r->base) return nullptr;
+  if (static_cast<std::size_t>(addr - r->base) + len > r->length) return nullptr;
+  return r->base + (addr - r->base);
 }
 
 std::optional<RegionInfo> MemoryRegistry::find_rkey(std::uint32_t rkey) const {
-  const auto it = rkey_to_lkey_.find(rkey);
-  if (it == rkey_to_lkey_.end()) return std::nullopt;
-  return by_lkey_.at(it->second);
+  for (const RegionInfo& r : regions_) {
+    if (r.rkey == rkey) return r;
+  }
+  return std::nullopt;
 }
 
 bool MemoryRegistry::check_remote(const std::byte* addr, std::size_t len,

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "ib/types.hpp"
 
@@ -33,6 +33,14 @@ class MemoryRegistry {
   bool check_local(const std::byte* addr, std::size_t len, std::uint32_t lkey,
                    Access needed) const;
 
+  /// Resolve a validated local-write destination (e.g. an RDMA-read landing
+  /// buffer) to its mutable pointer inside the registered region; nullptr
+  /// if the (addr, len, lkey) triple fails the local_write check. The
+  /// registry owns the mutable view of every registered region, so this is
+  /// where const-ness is legitimately dropped.
+  std::byte* local_write_ptr(const std::byte* addr, std::size_t len,
+                             std::uint32_t lkey) const;
+
   /// Look up a region by rkey for a remote (RDMA) access; nullopt if the
   /// key is unknown or was deregistered.
   std::optional<RegionInfo> find_rkey(std::uint32_t rkey) const;
@@ -41,12 +49,16 @@ class MemoryRegistry {
   bool check_remote(const std::byte* addr, std::size_t len, std::uint32_t rkey,
                     Access needed) const;
 
-  std::size_t region_count() const noexcept { return by_lkey_.size(); }
+  std::size_t region_count() const noexcept { return regions_.size(); }
   std::size_t registered_bytes() const noexcept { return registered_bytes_; }
 
  private:
-  std::map<std::uint32_t, RegionInfo> by_lkey_;
-  std::map<std::uint32_t, std::uint32_t> rkey_to_lkey_;
+  const RegionInfo* find_lkey(std::uint32_t lkey) const noexcept;
+
+  // An HCA registers a handful of regions, so key lookup — which is on the
+  // per-WQE hot path (every post_send/post_recv validates) — is a linear
+  // scan of one flat array, not a tree walk.
+  std::vector<RegionInfo> regions_;
   std::uint32_t next_key_ = 1;
   std::size_t registered_bytes_ = 0;
 };

@@ -1,26 +1,17 @@
 // Wire-level packet descriptor exchanged between QPs through the fabric.
 // Internal to the ib layer.
+//
+// A Packet is plain data plus a pooled-message reference; it moves from the
+// sender's QP into one engine event and is read in place at the receiver,
+// so a hop never copies the payload (zero-copy through the simulated wire).
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
+#include "ib/msg_pool.hpp"
 #include "ib/types.hpp"
 
 namespace mvflow::ib {
-
-/// Snapshot of one in-flight message. Data packets of the same message
-/// share it; the payload is captured at post time so retransmissions replay
-/// identical bytes (senders must keep buffers stable until completion
-/// anyway, per verbs rules).
-struct MessageData {
-  WrOpcode opcode = WrOpcode::send;
-  std::vector<std::byte> payload;      // send / rdma_write contents
-  std::byte* remote_addr = nullptr;    // rdma_write / rdma_read target
-  std::uint32_t rkey = 0;
-  std::uint32_t length = 0;            // total message length
-};
 
 enum class PacketKind : std::uint8_t {
   data,             ///< send or rdma_write payload packet
@@ -41,7 +32,7 @@ struct Packet {
   std::uint32_t pkt_index = 0;  ///< Position within the message.
   std::uint32_t pkt_count = 1;  ///< Packets in the message.
   std::uint32_t payload_bytes = 0;
-  std::shared_ptr<const MessageData> msg;  ///< Data/read packets only.
+  MsgRef msg;                 ///< Data/read packets only.
   std::int64_t credits = -1;  ///< ACK: responder's posted recv WQE count.
   bool corrupted = false;     ///< Fault injector: delivered but CRC-failed.
 };

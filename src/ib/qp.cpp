@@ -24,8 +24,8 @@ std::uint32_t packet_count(std::uint32_t len, std::uint32_t mtu) {
 QueuePair::QueuePair(Hca& hca, QpNumber qpn,
                      std::shared_ptr<CompletionQueue> send_cq,
                      std::shared_ptr<CompletionQueue> recv_cq, QpType type)
-    : hca_(hca), qpn_(qpn), send_cq_(std::move(send_cq)),
-      recv_cq_(std::move(recv_cq)), type_(type) {
+    : hca_(hca), qpn_(qpn), type_(type), send_cq_(std::move(send_cq)),
+      recv_cq_(std::move(recv_cq)) {
   util::require(send_cq_ && recv_cq_, "QP needs send and recv CQs");
   // UD queue pairs are connectionless and usable immediately.
   if (type_ == QpType::ud) state_ = QpState::ready;
@@ -52,11 +52,18 @@ void QueuePair::post_send(const SendWr& wr) {
   }
 
   // Local protection: the source of send/rdma_write needs local_read; the
-  // destination of an rdma_read needs local_write.
-  const Access needed =
-      wr.opcode == WrOpcode::rdma_read ? Access::local_write : Access::local_read;
-  const std::byte* local = wr.local_addr;
-  if (!hca_.memory().check_local(local, wr.length, wr.lkey, needed)) {
+  // destination of an rdma_read needs local_write (and we resolve its
+  // mutable pointer here, where the registry legitimately owns it).
+  std::byte* read_dst = nullptr;
+  bool local_ok;
+  if (wr.opcode == WrOpcode::rdma_read) {
+    read_dst = hca_.memory().local_write_ptr(wr.local_addr, wr.length, wr.lkey);
+    local_ok = read_dst != nullptr;
+  } else {
+    local_ok = hca_.memory().check_local(wr.local_addr, wr.length, wr.lkey,
+                                         Access::local_read);
+  }
+  if (!local_ok) {
     if (wr.signaled)
       send_cq_->push(Completion{wr.wr_id, WcStatus::local_protection_error,
                                 WcOpcode::send, 0, qpn_, remote_qpn_});
@@ -67,14 +74,17 @@ void QueuePair::post_send(const SendWr& wr) {
   PendingSend ps;
   ps.wr = wr;
   ps.msn = next_msn_++;
+  ps.read_dst = read_dst;
   ps.rnr_retries_left = hca_.fabric().config().rnr_retry_limit;
-  auto data = std::make_shared<MessageData>();
-  data->opcode = wr.opcode;
-  data->length = wr.length;
-  data->remote_addr = wr.remote_addr;
-  data->rkey = wr.rkey;
+  MsgRef data = hca_.msg_pool().acquire();
+  MessageData& d = data.fill();
+  d.opcode = wr.opcode;
+  d.length = wr.length;
+  d.remote_addr = wr.remote_addr;
+  d.rkey = wr.rkey;
   if (wr.opcode != WrOpcode::rdma_read) {
-    data->payload.assign(wr.local_addr, wr.local_addr + wr.length);
+    d.src = wr.local_addr;  // zero-copy: registered buffer is stable until
+                            // this WQE completes (verbs ownership rule)
   }
   ps.data = std::move(data);
   pending_tx_.push_back(std::move(ps));
@@ -124,7 +134,7 @@ void QueuePair::pump_tx() {
       auto it = std::find_if(reads_.begin(), reads_.end(),
                              [&](const auto& p) { return p.first == ps.msn; });
       if (it == reads_.end()) {
-        reads_.emplace_back(ps.msn, ReadPending{ps.wr, 0});
+        reads_.emplace_back(ps.msn, ReadPending{ps.wr, ps.read_dst, 0});
       } else {
         it->second.received = 0;
       }
@@ -204,10 +214,11 @@ void QueuePair::post_send_ud(const SendWr& wr) {
                                 WcOpcode::send, 0, qpn_, wr.dest_qpn});
     return;  // UD QPs do not transition to error for a bad post
   }
-  auto data = std::make_shared<MessageData>();
-  data->opcode = WrOpcode::send;
-  data->length = wr.length;
-  data->payload.assign(wr.local_addr, wr.local_addr + wr.length);
+  MsgRef data = hca_.msg_pool().acquire();
+  MessageData& d = data.fill();
+  d.opcode = WrOpcode::send;
+  d.length = wr.length;
+  d.src = wr.local_addr;
 
   Packet pkt;
   pkt.kind = PacketKind::data;
@@ -248,8 +259,8 @@ void QueuePair::rx_packet_ud(const Packet& pkt) {
                               pkt.msg->length, qpn_, pkt.src_qpn});
     return;
   }
-  if (!pkt.msg->payload.empty())
-    std::memcpy(wr.local_addr, pkt.msg->payload.data(), pkt.msg->length);
+  if (pkt.msg->length > 0)
+    std::memmove(wr.local_addr, pkt.msg->bytes(), pkt.msg->length);
   ++stats_.messages_received;
   recv_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::recv,
                             pkt.msg->length, qpn_, pkt.src_qpn});
@@ -385,8 +396,9 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
     enter_error();
     return;
   }
-  if (!pkt.msg->payload.empty()) {
-    std::memcpy(wr.local_addr, pkt.msg->payload.data(), pkt.msg->length);
+  if (pkt.msg->length > 0) {
+    // memmove: a loopback send may name overlapping registered buffers.
+    std::memmove(wr.local_addr, pkt.msg->bytes(), pkt.msg->length);
   }
   ++stats_.messages_received;
   recv_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::recv,
@@ -422,7 +434,8 @@ void QueuePair::responder_accept_write(const Packet& pkt) {
 
   rx_cur_.reset();
   ++expected_msn_;
-  std::memcpy(pkt.msg->remote_addr, pkt.msg->payload.data(), pkt.msg->length);
+  if (pkt.msg->length > 0)
+    std::memmove(pkt.msg->remote_addr, pkt.msg->bytes(), pkt.msg->length);
   ++stats_.messages_received;
   send_control(PacketKind::ack, pkt.msn,
                static_cast<std::int64_t>(recvq_.size()));
@@ -461,13 +474,13 @@ void QueuePair::stream_read_response(const Packet& pkt) {
   // Stream the response back: snapshot the requested bytes now.
   Fabric& fabric = hca_.fabric();
   const auto& cfg = fabric.config();
-  auto resp = std::make_shared<MessageData>();
-  resp->opcode = WrOpcode::rdma_read;
-  resp->length = pkt.msg->length;
-  resp->payload.assign(pkt.msg->remote_addr,
-                       pkt.msg->remote_addr + pkt.msg->length);
-  const std::uint32_t count = packet_count(resp->length, cfg.mtu);
-  std::uint32_t remaining = resp->length;
+  MsgRef resp = hca_.msg_pool().acquire();
+  MessageData& d = resp.fill();
+  d.opcode = WrOpcode::rdma_read;
+  d.length = pkt.msg->length;
+  d.payload.assign(pkt.msg->remote_addr, pkt.msg->remote_addr + pkt.msg->length);
+  const std::uint32_t count = packet_count(d.length, cfg.mtu);
+  std::uint32_t remaining = d.length;
   for (std::uint32_t i = 0; i < count; ++i) {
     Packet out;
     out.kind = PacketKind::rdma_read_resp;
@@ -495,8 +508,8 @@ void QueuePair::handle_read_resp(const Packet& pkt) {
   ++rp.received;
   if (rp.received < pkt.pkt_count) return;
 
-  std::memcpy(const_cast<std::byte*>(rp.wr.local_addr), pkt.msg->payload.data(),
-              pkt.msg->length);
+  if (pkt.msg->length > 0)
+    std::memcpy(rp.dst, pkt.msg->bytes(), pkt.msg->length);
   // Mark the matching unacked entry complete and retire in order.
   for (auto& ps : unacked_) {
     if (ps.msn == pkt.msn) {
@@ -510,10 +523,11 @@ void QueuePair::handle_read_resp(const Packet& pkt) {
 void QueuePair::handle_ack(const Packet& pkt) {
   stats_.last_advertised_credits = pkt.credits;
   advertised_credits_ = pkt.credits;
+  // unacked_ is a sliding window in msn order, so a cumulative ACK marks a
+  // prefix — stop at the first entry past it instead of scanning the rest.
   for (auto& ps : unacked_) {
-    if (ps.msn <= pkt.msn && ps.wr.opcode != WrOpcode::rdma_read) {
-      ps.acked = true;
-    }
+    if (ps.msn > pkt.msn) break;
+    if (ps.wr.opcode != WrOpcode::rdma_read) ps.acked = true;
   }
   retire_acked_();
   pump_tx();  // freed window and fresh credit information

@@ -30,6 +30,7 @@
 #include "ib/packet.hpp"
 #include "ib/types.hpp"
 #include "sim/engine.hpp"
+#include "util/flat_fifo.hpp"
 
 namespace mvflow::ib {
 
@@ -83,7 +84,8 @@ class QueuePair {
   struct PendingSend {
     SendWr wr;
     Msn msn = 0;
-    std::shared_ptr<const MessageData> data;
+    MsgRef data;
+    std::byte* read_dst = nullptr;  ///< rdma_read landing buffer (mutable)
     int rnr_retries_left = 0;
     bool retransmission = false;
     bool acked = false;
@@ -126,9 +128,10 @@ class QueuePair {
   int remote_node_ = -1;
   QpNumber remote_qpn_ = 0;
 
-  // Requester side.
-  std::deque<PendingSend> pending_tx_;  // queued, not yet on the wire
-  std::deque<PendingSend> unacked_;     // on the wire, awaiting ACK
+  // Requester side. The send pipeline queues are cursor FIFOs: they cycle
+  // once per message, so deque block churn would dominate their cost.
+  util::FlatFifo<PendingSend> pending_tx_;  // queued, not yet on the wire
+  util::FlatFifo<PendingSend> unacked_;     // on the wire, awaiting ACK
   Msn next_msn_ = 0;
   bool rnr_waiting_ = false;
   /// IBA end-to-end flow control: the responder's last advertised recv-WQE
@@ -147,12 +150,13 @@ class QueuePair {
   // but multiple are supported keyed by msn).
   struct ReadPending {
     SendWr wr;
+    std::byte* dst = nullptr;  ///< validated mutable local landing buffer
     std::uint32_t received = 0;
   };
   std::deque<std::pair<Msn, ReadPending>> reads_;
 
   // Responder side.
-  std::deque<RecvWr> recvq_;
+  util::FlatFifo<RecvWr> recvq_;
   Msn expected_msn_ = 0;
   Msn dropping_msn_ = static_cast<Msn>(-1);  // message being discarded
   Msn last_seq_nak_msn_ = static_cast<Msn>(-1);  // one NAK per observed gap

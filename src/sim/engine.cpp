@@ -1,7 +1,6 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "sim/process.hpp"
 #include "util/check.hpp"
@@ -10,31 +9,144 @@ namespace mvflow::sim {
 
 Engine::~Engine() = default;
 
-EventHandle Engine::schedule_at(TimePoint t, EventFn fn) {
-  util::require(t >= now_, "cannot schedule event in the past");
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), flag});
-  return EventHandle(std::move(flag));
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNone) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = node(slot).next_free;
+    node(slot).next_free = kNone;
+    ++perf_.pool_reuses;
+    return slot;
+  }
+  ++perf_.pool_allocs;
+  if (slab_size_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  return slab_size_++;
 }
 
-EventHandle Engine::schedule_after(Duration d, EventFn fn) {
-  return schedule_at(now_ + d, std::move(fn));
+void Engine::release_slot(std::uint32_t slot) noexcept {
+  Node& n = node(slot);
+  ++n.gen;  // every outstanding handle to this event is now invalid
+  n.fn.reset();
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Engine::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+  perf_.peak_heap_depth = std::max(perf_.peak_heap_depth, heap_.size());
+}
+
+// The heap is 4-ary: half the levels of a binary heap, and a node's four
+// children span ~1.5 cache lines, so the pop-path sift_down (the engine's
+// hottest loop) takes far fewer misses. Arity never affects dispatch
+// order — pops always take the strict (t, seq) minimum.
+void Engine::sift_up(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void Engine::sift_down(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = std::min(first + 4, n);
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = e;
+}
+
+void Engine::pop_root() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+}
+
+void Engine::require_not_past(TimePoint t) const {
+  util::require(t >= now_, "cannot schedule event in the past");
+}
+
+bool Engine::cancel(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slab_size_) return false;
+  if (node(slot).gen != gen) return false;  // already fired or cancelled
+  // Lazy: release the slot (O(1)) and leave the heap entry behind as a
+  // zombie; the generation stamped in the entry no longer matches, so the
+  // dispatcher drops it when it reaches the top. The slot is immediately
+  // reusable — a reuse advances gen again, which changes nothing for the
+  // zombie (it already mismatches).
+  release_slot(slot);
+  ++zombies_;
+  ++perf_.cancelled_before_fire;
+  return true;
+}
+
+bool Engine::handle_valid(std::uint32_t slot, std::uint32_t gen) const noexcept {
+  // gen matches only between schedule and release, and release happens
+  // exactly at fire or cancel — so a match means "still pending".
+  return slot < slab_size_ && node(slot).gen == gen;
+}
+
+bool Engine::top_live() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_[0];
+    if (node(top.slot).gen == top.gen) return true;
+    pop_root();  // reap a cancelled entry
+    --zombies_;
+  }
+  return false;
+}
+
+void Engine::dispatch_top() {
+  // Returns the fired slot to the freelist after its callback finishes —
+  // even if the callback throws (otherwise the slot would leak).
+  struct FireGuard {
+    Engine* e;
+    std::uint32_t slot;
+    ~FireGuard() {
+      Node& n = e->node(slot);
+      n.fn.reset();
+      n.next_free = e->free_head_;
+      e->free_head_ = slot;
+    }
+  };
+  const HeapEntry top = heap_[0];
+  Node& n = node(top.slot);
+  util::check(top.t >= now_, "event queue went backwards");
+  now_ = top.t;
+  pop_root();
+  // The callback runs in place — its chunk address is stable even if it
+  // schedules events that grow the slab. The generation is bumped first so
+  // the event's own handle already reads fired (cancelling yourself is a
+  // no-op), but the slot joins the freelist only after the callback
+  // returns, so nothing can emplace over the still-executing closure.
+  ++n.gen;
+  ++perf_.executed;
+  FireGuard guard{this, top.slot};
+  n.fn();
 }
 
 bool Engine::dispatch_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; we must copy the closure out before
-    // popping. Closures here are small (captured pointers), so this is cheap.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.cancelled && *ev.cancelled) continue;
-    util::check(ev.t >= now_, "event queue went backwards");
-    now_ = ev.t;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (!top_live()) return false;
+  dispatch_top();
+  return true;
 }
 
 std::size_t Engine::run() {
@@ -42,7 +154,10 @@ std::size_t Engine::run() {
   running_ = true;
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_ && dispatch_one()) ++n;
+  while (!stopped_ && top_live()) {
+    dispatch_top();
+    ++n;
+  }
   running_ = false;
   if (first_error_) {
     auto e = first_error_;
@@ -57,8 +172,10 @@ std::size_t Engine::run_until(TimePoint t) {
   running_ = true;
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
-    if (!dispatch_one()) break;
+  // top_live() first: a zombie at the top must not gate (or satisfy) the
+  // time check — only the earliest *live* event's time matters.
+  while (!stopped_ && top_live() && heap_[0].t <= t) {
+    dispatch_top();
     ++n;
   }
   now_ = std::max(now_, t);

@@ -1,38 +1,68 @@
 // Discrete-event simulation engine.
 //
-// A single min-heap of (time, sequence) ordered events drives the whole
-// simulation. Everything that happens — packet hops, timer expiry, process
-// wake-ups — is an event; ties at equal times execute in scheduling order,
-// which makes runs bit-deterministic.
+// A single pooled min-heap of (time, sequence) ordered events drives the
+// whole simulation. Everything that happens — packet hops, timer expiry,
+// process wake-ups — is an event; ties at equal times execute in
+// scheduling order, which makes runs bit-deterministic.
+//
+// The hot path is allocation-free in steady state: event nodes live in a
+// freelist-recycled slab, callbacks are stored inline (InplaceFunction),
+// and handles are {slot, generation} pairs with O(1) lazy cancellation and
+// no reference counting. See DESIGN.md §10 for the invariants.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/inplace_function.hpp"
 #include "sim/time.hpp"
 
 namespace mvflow::sim {
 
+class Engine;
 class Process;
+
+/// Engine self-observation counters: how much work the scheduler did and
+/// how well the event-node pool avoided the allocator. `pool_hit_rate()`
+/// ≈ 1.0 after warmup is the "steady-state dispatch is allocation-free"
+/// invariant the throughput bench reports.
+struct EnginePerfStats {
+  std::uint64_t scheduled = 0;             ///< schedule_at/after calls
+  std::uint64_t executed = 0;              ///< events fired
+  std::uint64_t cancelled_before_fire = 0;
+  std::size_t peak_heap_depth = 0;         ///< max simultaneous pending events
+  std::uint64_t pool_reuses = 0;   ///< event nodes recycled from the freelist
+  std::uint64_t pool_allocs = 0;   ///< event nodes that grew the slab
+  double pool_hit_rate() const {
+    const double total =
+        static_cast<double>(pool_reuses) + static_cast<double>(pool_allocs);
+    return total == 0 ? 0.0 : static_cast<double>(pool_reuses) / total;
+  }
+};
 
 /// Handle for a scheduled event; lets the scheduler cancel timers (e.g. an
 /// RNR retry that was satisfied early). Copyable; cancelling any copy
-/// cancels the event.
+/// cancels the event. A handle is a {slot, generation} pair into the
+/// engine's event slab: once the event fires or is cancelled, the slot's
+/// generation advances and every outstanding handle to it reads invalid —
+/// cancel-after-fire is a harmless no-op.
 class EventHandle {
  public:
   EventHandle() = default;
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  bool valid() const { return cancelled_ != nullptr; }
+  inline void cancel();
+  /// True only while the event is still pending (scheduled, not yet fired
+  /// or cancelled).
+  inline bool valid() const;
 
  private:
   friend class Engine;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Engine* engine, std::uint32_t slot, std::uint32_t gen)
+      : engine_(engine), slot_(slot), gen_(gen) {}
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Engine {
@@ -44,12 +74,31 @@ class Engine {
 
   TimePoint now() const noexcept { return now_; }
 
-  using EventFn = std::function<void()>;
+  /// Inline storage for event callbacks, sized for the largest hot-path
+  /// closure (the fabric's packet-delivery lambda: a full Packet plus
+  /// routing state) with headroom. A schedule site whose capture outgrows
+  /// this fails to compile instead of silently allocating.
+  static constexpr std::size_t kEventInlineBytes = 96;
+  using EventFn = InplaceFunction<void(), kEventInlineBytes>;
 
   /// Schedule `fn` to run at absolute simulated time `t` (must be >= now()).
-  EventHandle schedule_at(TimePoint t, EventFn fn);
+  /// The callable is constructed directly inside the slab node — no
+  /// intermediate EventFn move on the hot path.
+  template <typename F>
+  EventHandle schedule_at(TimePoint t, F&& fn) {
+    require_not_past(t);
+    const std::uint32_t slot = acquire_slot();
+    Node& n = node(slot);
+    n.fn.emplace(std::forward<F>(fn));
+    heap_push(HeapEntry{t, next_seq_++, slot, n.gen});
+    ++perf_.scheduled;
+    return EventHandle(this, slot, n.gen);
+  }
   /// Schedule `fn` to run `d` after the current time.
-  EventHandle schedule_after(Duration d, EventFn fn);
+  template <typename F>
+  EventHandle schedule_after(Duration d, F&& fn) {
+    return schedule_at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Run events until the queue is empty or stop() is called. Returns the
   /// number of events executed. If a process body threw, the exception is
@@ -63,8 +112,14 @@ class Engine {
   /// Request that run() return at the next event boundary.
   void stop() noexcept { stopped_ = true; }
 
-  std::size_t executed_events() const noexcept { return executed_; }
-  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::size_t executed_events() const noexcept {
+    return static_cast<std::size_t>(perf_.executed);
+  }
+  std::size_t pending_events() const noexcept {
+    return heap_.size() - zombies_;  // zombies are cancelled, not pending
+  }
+
+  const EnginePerfStats& perf_stats() const noexcept { return perf_; }
 
   /// Processes register themselves; used to detect "simulation ended with
   /// blocked processes" (a deadlock in the modeled system).
@@ -72,33 +127,96 @@ class Engine {
 
  private:
   friend class Process;
+  friend class EventHandle;
+
   void register_process(Process* p);
   void unregister_process(Process* p);
   void record_error(std::exception_ptr e);
+  void require_not_past(TimePoint t) const;
 
-  struct Event {
-    TimePoint t;
-    std::uint64_t seq;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// One slab slot. `gen` advances every time the slot is released (fired
+  /// or cancelled), invalidating outstanding handles — and orphaning any
+  /// heap entry still carrying the old generation (see below).
+  /// The ordering key (t, seq) lives in the heap entry, not here: sift
+  /// comparisons stay inside the contiguous heap array instead of chasing
+  /// a ~100-byte Node per probe (the single hottest path in the engine).
+  struct Node {
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNone;
     EventFn fn;
-    std::shared_ptr<bool> cancelled;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+
+  /// The slab is chunked so node addresses are stable across growth: the
+  /// dispatcher invokes a callback in place (no per-event 96-byte move),
+  /// and the callback itself may schedule new events that extend the slab
+  /// while it is still executing.
+  static constexpr std::uint32_t kChunkBits = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  Node& node(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+  const Node& node(std::uint32_t slot) const noexcept {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  /// Min-heap element: ordering key, slab slot, and the slot generation it
+  /// was scheduled under. Cancellation is lazy — it releases the slot (O(1))
+  /// and leaves the entry in the heap as a zombie whose stamped generation
+  /// no longer matches; the dispatcher reaps zombies when they surface at
+  /// the top. This keeps the heap un-indexed: sifting never writes
+  /// back-pointers into the slab, so the sift loops touch only this
+  /// contiguous array. Dispatch order of live events is untouched — a
+  /// cancelled event fires in neither scheme.
+  struct HeapEntry {
+    TimePoint t{0};
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
 
   bool dispatch_one();  // pop + run one event; false if queue empty
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+  bool cancel(std::uint32_t slot, std::uint32_t gen);
+  bool handle_valid(std::uint32_t slot, std::uint32_t gen) const noexcept;
+
+  /// True when `a` fires strictly before `b` ((t, seq) order).
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  void heap_push(HeapEntry e);
+  void pop_root();
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  /// Reap zombies until the top entry is live; false when the heap drains.
+  bool top_live();
+  void dispatch_top();  // pop + run the (live) top event
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;  // freelist-recycled slab
+  std::uint32_t slab_size_ = 0;   // slots handed out so far (all chunks)
+  std::vector<HeapEntry> heap_;   // pending + zombie events, (t, seq) heap
+  std::uint32_t free_head_ = kNone;   // freelist of released slots
+  std::size_t zombies_ = 0;           // cancelled entries not yet reaped
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
-  std::size_t executed_ = 0;
+  EnginePerfStats perf_;
   bool stopped_ = false;
   bool running_ = false;
   std::vector<Process*> processes_;
   std::exception_ptr first_error_;
 };
+
+inline void EventHandle::cancel() {
+  if (engine_ != nullptr) engine_->cancel(slot_, gen_);
+}
+
+inline bool EventHandle::valid() const {
+  return engine_ != nullptr && engine_->handle_valid(slot_, gen_);
+}
 
 }  // namespace mvflow::sim

@@ -1,0 +1,125 @@
+// Small-buffer-optimized, move-only callable for the event hot path.
+//
+// std::function heap-allocates any closure larger than its (implementation
+// defined, typically 16-byte) inline buffer — which is every packet-delivery
+// lambda the fabric schedules. InplaceFunction stores the closure inline and
+// refuses (at compile time) callables that do not fit, so scheduling an
+// event can never touch the allocator. Dispatch is two indirect calls
+// (ops table + closure body), same as std::function without the heap walk.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mvflow::sim {
+
+template <typename Signature, std::size_t Capacity = 96>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t capacity = Capacity;
+
+  InplaceFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "closure exceeds the inline buffer: shrink the capture or "
+                  "raise the InplaceFunction capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "closures must be nothrow-movable (they relocate when the "
+                  "event slab grows)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &OpsImpl<Fn>::ops;
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept { move_from(o); }
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { reset(); }
+
+  /// Construct a closure directly into the inline buffer — the
+  /// zero-relocation path for hot schedule sites.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "closure exceeds the inline buffer: shrink the capture or "
+                  "raise the InplaceFunction capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "closures must be nothrow-movable (they relocate when the "
+                  "event slab grows)");
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &OpsImpl<Fn>::ops;
+  }
+
+  /// Destroy the stored closure (and whatever it captured) immediately.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct OpsImpl {
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(InplaceFunction& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mvflow::sim

@@ -1,0 +1,94 @@
+// Cursor-based FIFO over a flat vector. The simulator's hot queues (QP send
+// windows, posted receives, completion queues) are strict FIFOs with rare
+// mid-queue surgery; std::deque serves them but pays steady-state block
+// churn — libstdc++ frees a 512-byte block every time pop_front crosses a
+// block boundary and reallocates it on the next push_back. This container
+// instead advances a read cursor over one vector and recycles the storage
+// (capacity retained) whenever the consumer drains it, so a queue that
+// repeatedly fills and empties never touches the allocator after warmup.
+//
+// Unconsumed elements occupy [head_, buf_.size()); slots before the cursor
+// are dead until the next drain. Iterators cover only live elements and
+// follow vector invalidation rules.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mvflow::util {
+
+template <typename T>
+class FlatFifo {
+ public:
+  using iterator = typename std::vector<T>::iterator;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  bool empty() const noexcept { return head_ == buf_.size(); }
+  std::size_t size() const noexcept { return buf_.size() - head_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+  T& back() { return buf_.back(); }
+  const T& back() const { return buf_.back(); }
+
+  void push_back(T v) { buf_.push_back(std::move(v)); }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    return buf_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) clear();
+  }
+  void pop_back() {
+    buf_.pop_back();
+    if (head_ == buf_.size()) clear();
+  }
+
+  /// Re-queue at the head (retransmission rewind). Reuses a dead slot in
+  /// front of the cursor when one exists.
+  void push_front(T v) {
+    if (head_ > 0) {
+      buf_[--head_] = std::move(v);
+    } else {
+      buf_.insert(buf_.begin(), std::move(v));
+    }
+  }
+
+  void clear() noexcept {
+    buf_.clear();  // capacity retained
+    head_ = 0;
+  }
+
+  iterator begin() noexcept { return buf_.begin() + static_cast<std::ptrdiff_t>(head_); }
+  iterator end() noexcept { return buf_.end(); }
+  const_iterator begin() const noexcept {
+    return buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  const_iterator end() const noexcept { return buf_.end(); }
+
+  iterator erase(iterator it) {
+    iterator out = buf_.erase(it);
+    if (head_ == buf_.size()) {
+      clear();
+      return buf_.end();
+    }
+    return out;
+  }
+  iterator erase(iterator first, iterator last) {
+    iterator out = buf_.erase(first, last);
+    if (head_ == buf_.size()) {
+      clear();
+      return buf_.end();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace mvflow::util
