@@ -16,6 +16,7 @@
 // still exist; the pool itself dies with the last outstanding message.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -29,13 +30,16 @@ class MessageDataPool;
 
 /// One in-flight message; data packets of the same message share it.
 ///
-/// Send/write payloads are zero-copy: `src` points into the sender's
+/// RC send/write payloads are zero-copy: `src` points into the sender's
 /// registered region, which verbs rules require to stay untouched until
 /// the WQE completes — and every consumer (delivery, retransmission) runs
 /// before the completion is generated, so reading through the pointer is
-/// equivalent to the eager deep-copy it replaces. RDMA-read responses are
-/// the exception: the responder's memory has no such stability contract,
-/// so they snapshot into `payload` at response time.
+/// equivalent to the eager deep-copy it replaces. Two paths instead
+/// snapshot into `payload`, because their bytes have no such stability
+/// contract: RDMA-read responses (responder memory can change after the
+/// response is streamed) and UD sends (the completion is generated at post
+/// time, before delivery, so the app may reuse the buffer while the
+/// datagram is still in flight).
 struct MessageData {
   WrOpcode opcode = WrOpcode::send;
   const std::byte* src = nullptr;      // send / rdma_write source (borrowed)
@@ -125,6 +129,13 @@ class MessageDataPool
       free_.pop_back();
       ++stats_.reuses;
     } else {
+      // free_ can never hold more than all_.size() entries, so growing its
+      // capacity in lockstep (geometrically, and before the node exists)
+      // guarantees the noexcept release() below never allocates — a
+      // push_back that threw bad_alloc there would terminate.
+      if (free_.capacity() < all_.size() + 1) {
+        free_.reserve(std::max<std::size_t>(16, 2 * (all_.size() + 1)));
+      }
       all_.push_back(std::make_unique<PooledMessage>());
       m = all_.back().get();
       ++stats_.allocs;

@@ -218,7 +218,12 @@ void QueuePair::post_send_ud(const SendWr& wr) {
   MessageData& d = data.fill();
   d.opcode = WrOpcode::send;
   d.length = wr.length;
-  d.src = wr.local_addr;
+  // The UD send completion is pushed below, at post time — so the app may
+  // legally reuse or deregister the buffer before the datagram is delivered
+  // by a later engine event. Snapshot the (≤ one MTU) payload instead of
+  // borrowing the registered buffer; the pooled vector keeps its capacity,
+  // so steady-state UD traffic still never touches the allocator.
+  d.payload.assign(wr.local_addr, wr.local_addr + wr.length);
 
   Packet pkt;
   pkt.kind = PacketKind::data;

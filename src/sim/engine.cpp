@@ -7,7 +7,34 @@
 
 namespace mvflow::sim {
 
-Engine::~Engine() = default;
+namespace {
+
+// Registry of constructed-and-not-yet-destroyed engines. EventHandle holds
+// a raw Engine* (no refcounting on the hot path); checking membership here
+// before dereferencing makes a handle that outlives its engine a safe
+// no-op regardless of destruction order. The simulation is single-threaded,
+// so no locking; the list holds one entry per live engine (typically one),
+// so the linear scan is trivial. Address reuse by a *new* engine at the
+// same address is additionally guarded by the slot bounds check and the
+// generation stamp in cancel()/handle_valid().
+std::vector<Engine*>& live_engines() {
+  static std::vector<Engine*> v;
+  return v;
+}
+
+}  // namespace
+
+Engine::Engine() { live_engines().push_back(this); }
+
+Engine::~Engine() {
+  auto& v = live_engines();
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+bool Engine::is_live(const Engine* e) noexcept {
+  const auto& v = live_engines();
+  return std::find(v.begin(), v.end(), e) != v.end();
+}
 
 std::uint32_t Engine::acquire_slot() {
   if (free_head_ != kNone) {

@@ -48,6 +48,11 @@ struct EnginePerfStats {
 /// engine's event slab: once the event fires or is cancelled, the slot's
 /// generation advances and every outstanding handle to it reads invalid —
 /// cancel-after-fire is a harmless no-op.
+///
+/// Handles may outlive the engine: cancel()/valid() first check the
+/// process-wide live-engine registry, so a handle whose engine was already
+/// destroyed (e.g. a QP timer cancelled during teardown after the engine)
+/// degrades to a no-op instead of dereferencing a dangling pointer.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -67,10 +72,16 @@ class EventHandle {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
+
+  /// True while `e` is a constructed, not-yet-destroyed Engine. Backed by a
+  /// process-wide registry (the simulation is single-threaded); EventHandle
+  /// checks it before touching its engine so stale handles are safe no
+  /// matter the destruction order.
+  static bool is_live(const Engine* e) noexcept;
 
   TimePoint now() const noexcept { return now_; }
 
@@ -90,7 +101,14 @@ class Engine {
     const std::uint32_t slot = acquire_slot();
     Node& n = node(slot);
     n.fn.emplace(std::forward<F>(fn));
-    heap_push(HeapEntry{t, next_seq_++, slot, n.gen});
+    try {
+      heap_push(HeapEntry{t, next_seq_++, slot, n.gen});
+    } catch (...) {
+      // heap_ growth hit bad_alloc: put the slot (and its closure's
+      // captured resources) back instead of leaking them.
+      release_slot(slot);
+      throw;
+    }
     ++perf_.scheduled;
     return EventHandle(this, slot, n.gen);
   }
@@ -212,11 +230,13 @@ class Engine {
 };
 
 inline void EventHandle::cancel() {
-  if (engine_ != nullptr) engine_->cancel(slot_, gen_);
+  if (engine_ != nullptr && Engine::is_live(engine_))
+    engine_->cancel(slot_, gen_);
 }
 
 inline bool EventHandle::valid() const {
-  return engine_ != nullptr && engine_->handle_valid(slot_, gen_);
+  return engine_ != nullptr && Engine::is_live(engine_) &&
+         engine_->handle_valid(slot_, gen_);
 }
 
 }  // namespace mvflow::sim

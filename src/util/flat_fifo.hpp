@@ -8,8 +8,13 @@
 // repeatedly fills and empties never touches the allocator after warmup.
 //
 // Unconsumed elements occupy [head_, buf_.size()); slots before the cursor
-// are dead until the next drain. Iterators cover only live elements and
-// follow vector invalidation rules.
+// are dead until the next drain — or until pop_front compacts: once the
+// dead prefix passes a threshold and outweighs the live tail, the prefix
+// is erased (destroying the moved-from elements it pinned), so a queue
+// that never fully drains still uses O(live) memory, amortized O(1) per
+// pop. Iterators cover only live elements and follow vector invalidation
+// rules; pop_front may invalidate them (compaction), like pop-and-push on
+// a ring buffer would.
 #pragma once
 
 #include <cstddef>
@@ -40,7 +45,15 @@ class FlatFifo {
 
   void pop_front() {
     ++head_;
-    if (head_ == buf_.size()) clear();
+    if (head_ == buf_.size()) {
+      clear();
+    } else if (head_ >= kCompactMin && head_ >= buf_.size() - head_) {
+      // Dead prefix outweighs the live tail: erase it. Each compaction
+      // moves at most as many elements as pops since the last one, so the
+      // cost is amortized O(1) and memory stays O(live).
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
   }
   void pop_back() {
     buf_.pop_back();
@@ -87,6 +100,10 @@ class FlatFifo {
   }
 
  private:
+  /// Minimum dead-prefix length before compaction kicks in; keeps the
+  /// common small fill/drain cycles on the pure cursor-advance path.
+  static constexpr std::size_t kCompactMin = 64;
+
   std::vector<T> buf_;
   std::size_t head_ = 0;
 };

@@ -3,6 +3,7 @@
 // study (and its §8 future work on other transport services).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -74,6 +75,26 @@ TEST_F(UdFixture, ConnectionlessDelivery) {
   auto swc = cq_[0]->poll();
   ASSERT_TRUE(swc.has_value());
   EXPECT_TRUE(swc->ok());
+}
+
+TEST_F(UdFixture, SenderMayReuseBufferAfterPostCompletion) {
+  // The UD send completion is generated at post time, which transfers
+  // buffer ownership back to the app immediately — so bytes scribbled over
+  // the source buffer before the datagram is delivered must not leak into
+  // the receiver. (Delivery happens in a later engine event; the payload
+  // is snapshotted at post time.)
+  post_recv(1);
+  send(0, 1, 256);
+  std::vector<std::byte> expected(buf_[0].begin(), buf_[0].begin() + 256);
+  ASSERT_TRUE(cq_[0]->poll().has_value()) << "UD send completes at post";
+  std::fill(buf_[0].begin(), buf_[0].begin() + 256, std::byte{0xEE});
+  engine_.run();
+
+  auto wc = cq_[1]->poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_TRUE(wc->ok());
+  EXPECT_EQ(std::memcmp(buf_[1].data(), expected.data(), 256), 0)
+      << "receiver must see the bytes as posted, not the overwrite";
 }
 
 TEST_F(UdFixture, OneQpTalksToManyPeers) {

@@ -70,6 +70,25 @@ TEST(Engine, CancelAfterExecutionIsHarmless) {
   h.cancel();  // no-op
 }
 
+TEST(Engine, HandleOutlivingEngineIsSafe) {
+  // A handle holder (e.g. a QP's timer) may be torn down after the engine.
+  // The stale handle must read invalid and cancel as a no-op instead of
+  // dereferencing the destroyed engine.
+  EventHandle pending, fired;
+  {
+    Engine eng;
+    pending = eng.schedule_at(TimePoint(10), [] {});
+    fired = eng.schedule_at(TimePoint(5), [] {});
+    eng.run_until(TimePoint(7));
+    EXPECT_TRUE(pending.valid());
+    EXPECT_FALSE(fired.valid());
+  }
+  EXPECT_FALSE(pending.valid());
+  EXPECT_FALSE(fired.valid());
+  pending.cancel();  // no-op, must not crash
+  fired.cancel();
+}
+
 TEST(Engine, StopHaltsAtEventBoundary) {
   Engine eng;
   int count = 0;

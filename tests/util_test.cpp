@@ -4,12 +4,74 @@
 #include <set>
 
 #include "util/check.hpp"
+#include "util/flat_fifo.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace mu = mvflow::util;
+
+TEST(FlatFifo, FifoOrderAcrossFillDrainCycles) {
+  mu::FlatFifo<int> q;
+  int next_push = 0, next_pop = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 17; ++i) q.push_back(next_push++);
+    while (!q.empty()) {
+      EXPECT_EQ(q.front(), next_pop++);
+      q.pop_front();
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(FlatFifo, PushFrontReusesDeadSlotAndKeepsOrder) {
+  mu::FlatFifo<int> q;
+  q.push_back(1);
+  q.push_back(2);
+  q.pop_front();    // dead slot in front of the cursor
+  q.push_front(9);  // rewind into it
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.front(), 9);
+  q.pop_front();
+  EXPECT_EQ(q.front(), 2);
+}
+
+namespace {
+
+/// Counts constructed-and-not-yet-destroyed instances, so the tests can
+/// observe how many elements (live + dead moved-from slots) a FlatFifo is
+/// actually holding storage for.
+struct Counted {
+  static int live;
+  Counted() { ++live; }
+  Counted(const Counted&) { ++live; }
+  Counted(Counted&&) noexcept { ++live; }
+  Counted& operator=(const Counted&) = default;
+  Counted& operator=(Counted&&) noexcept = default;
+  ~Counted() { --live; }
+};
+int Counted::live = 0;
+
+}  // namespace
+
+TEST(FlatFifo, PersistentlyNonEmptyQueueStaysBounded) {
+  // A queue that never fully drains (e.g. a CQ filled faster than it is
+  // polled) must not accumulate O(total pushed) dead slots: pop_front
+  // compacts once the dead prefix outweighs the live tail, destroying the
+  // moved-from elements it pinned.
+  {
+    mu::FlatFifo<Counted> q;
+    q.push_back(Counted{});
+    for (int i = 0; i < 100'000; ++i) {
+      q.push_back(Counted{});
+      q.pop_front();  // depth stays at 1, queue never empties
+      EXPECT_LE(Counted::live, 256) << "dead prefix not being reclaimed";
+    }
+    EXPECT_EQ(q.size(), 1u);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
 
 TEST(Check, CheckThrowsLogicError) {
   EXPECT_NO_THROW(mu::check(true));
