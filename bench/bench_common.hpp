@@ -10,10 +10,18 @@
 #include "flowctl/flowctl.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/world.hpp"
+#include "obs/metrics.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace mvflow::bench {
+
+/// Persist a registry snapshot as `METRICS_<name>.json` next to the
+/// BENCH_*.json records; failures are silent for the same read-only-cwd
+/// reason as BenchJson::write.
+inline void write_metrics(const std::string& name, const obs::Snapshot& snap) {
+  snap.write_json("METRICS_" + name + ".json");
+}
 
 /// Machine-readable benchmark record, written as `BENCH_<name>.json` in the
 /// working directory so the perf trajectory can accumulate across runs and

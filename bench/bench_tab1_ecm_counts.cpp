@@ -2,6 +2,10 @@
 // (prepost=100, ECM threshold 5). Paper finding: LU's asymmetric wavefront
 // traffic makes ECMs ~18% of its total messages; the other applications
 // send almost none because piggybacking suffices.
+//
+// All counters come from each run's MetricsRegistry snapshot — the per-app
+// snapshot is also persisted as METRICS_tab1_<app>.json, giving the full
+// per-connection breakdown the table aggregates away.
 #include <cstdio>
 #include <iostream>
 
@@ -25,15 +29,21 @@ int main(int argc, char** argv) {
     auto cfg = base_config(flowctl::Scheme::user_static, 100, 0);
     cfg.flow.ecm_threshold = threshold;
     const auto r = nas::run_app(app, cfg, params);
-    const auto ecm = r.stats.total_ecm();
-    const auto total = r.stats.total_messages();
+    const obs::Snapshot& m = r.metrics;
+    write_metrics("tab1_" + std::string(nas::to_string(app)), m);
+
+    const double ecm = m.sum_suffix(".flow.ecm_sent");
+    const double total = m.sum_suffix(".flow.total_messages");
     // Connections that actually carried traffic.
     std::size_t active = 0;
-    for (const auto& c : r.stats.connections)
-      if (c.flow.total_messages() > 0) ++active;
-    t.add(std::string(nas::to_string(app)), ecm, total,
-          100.0 * static_cast<double>(ecm) / static_cast<double>(total),
-          active ? static_cast<double>(ecm) / static_cast<double>(active) : 0.0);
+    for (const auto& [name, v] : m.values) {
+      if (v > 0 && name.size() > 20 &&
+          name.compare(name.size() - 20, 20, ".flow.total_messages") == 0) {
+        ++active;
+      }
+    }
+    t.add(std::string(nas::to_string(app)), ecm, total, 100.0 * ecm / total,
+          active ? ecm / static_cast<double>(active) : 0.0);
   }
   t.print(std::cout);
   std::puts("\n# Expectation (paper): LU ~18% ECMs; all other apps ~0%.");

@@ -82,6 +82,23 @@ struct Counters {
   std::uint64_t total_messages() const {
     return credited_sent + control_sent + ecm_sent;
   }
+
+  /// Enumerate every counter as (name, value) for a metrics sink. Kept as a
+  /// template so flowctl does not depend on the obs layer.
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    f("credited_sent", static_cast<double>(credited_sent));
+    f("control_sent", static_cast<double>(control_sent));
+    f("ecm_sent", static_cast<double>(ecm_sent));
+    f("backlog_entered", static_cast<double>(backlog_entered));
+    f("backlog_dispatched", static_cast<double>(backlog_dispatched));
+    f("optimistic_rts", static_cast<double>(optimistic_rts));
+    f("credits_received", static_cast<double>(credits_received));
+    f("growth_events", static_cast<double>(growth_events));
+    f("decay_events", static_cast<double>(decay_events));
+    f("max_posted", static_cast<double>(max_posted));
+    f("total_messages", static_cast<double>(total_messages()));
+  }
 };
 
 class ConnectionFlow {

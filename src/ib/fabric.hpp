@@ -34,6 +34,19 @@ struct FabricStats {
   std::uint64_t scripted_faults_fired = 0; // one-shot scripted drop/corrupt
 
   bool operator==(const FabricStats&) const = default;
+
+  /// Enumerate every counter as (name, value) for a metrics sink.
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    f("packets", static_cast<double>(packets));
+    f("wire_bytes", static_cast<double>(wire_bytes));
+    f("data_packets", static_cast<double>(data_packets));
+    f("control_packets", static_cast<double>(control_packets));
+    f("lost_packets", static_cast<double>(lost_packets));
+    f("corrupted_packets", static_cast<double>(corrupted_packets));
+    f("flap_dropped_packets", static_cast<double>(flap_dropped_packets));
+    f("scripted_faults_fired", static_cast<double>(scripted_faults_fired));
+  }
 };
 
 class Fabric {

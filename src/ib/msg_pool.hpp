@@ -116,6 +116,15 @@ class MessageDataPool
                  ? 0.0
                  : static_cast<double>(reuses) / static_cast<double>(acquires);
     }
+
+    /// Enumerate every counter as (name, value) for a metrics sink.
+    template <typename Fn>
+    void visit(Fn&& f) const {
+      f("acquires", static_cast<double>(acquires));
+      f("reuses", static_cast<double>(reuses));
+      f("allocs", static_cast<double>(allocs));
+      f("hit_rate", hit_rate());
+    }
   };
 
   /// Check out a message; `fill()` it before putting packets on the wire.

@@ -6,6 +6,7 @@
 #include "ib/cq.hpp"
 #include "ib/fabric.hpp"
 #include "ib/hca.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 
 namespace mvflow::ib {
@@ -87,6 +88,11 @@ void QueuePair::post_send(const SendWr& wr) {
                             // this WQE completes (verbs ownership rule)
   }
   ps.data = std::move(data);
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    ps.posted_at = hca_.fabric().engine().now();
+    rec.record(ps.posted_at, obs::Ev::msg_posted, hca_.node_id(), remote_node_,
+               qpn_, ps.msn, wr.length);
+  }
   pending_tx_.push_back(std::move(ps));
   pump_tx();
 }
@@ -160,6 +166,21 @@ void QueuePair::transmit_message(PendingSend& ps) {
   const std::uint32_t count =
       ps.wr.opcode == WrOpcode::rdma_read ? 1
                                           : packet_count(ps.data->length, cfg.mtu);
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    const int me = hca_.node_id();
+    if (ps.retransmission) {
+      rec.record(now, obs::Ev::retransmit, me, remote_node_, qpn_, ps.msn,
+                 ps.data->length);
+    } else {
+      ps.first_tx_at = now;
+      if (ps.posted_at.count() >= 0) rec.note_post_to_wire(now - ps.posted_at);
+      rec.record(now, obs::Ev::msg_on_wire, me, remote_node_, qpn_, ps.msn,
+                 ps.data->length);
+      if (count > 1)
+        rec.record(now, obs::Ev::msg_segmented, me, remote_node_, qpn_, ps.msn,
+                   count);
+    }
+  }
   std::uint32_t remaining = ps.data->length;
   for (std::uint32_t i = 0; i < count; ++i) {
     Packet pkt;
@@ -375,6 +396,10 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
       if (recvq_.empty()) {
         // Receiver not ready: drop the message, tell the requester.
         ++stats_.rnr_naks_sent;
+        if (auto& rec = obs::recorder(); rec.enabled()) {
+          rec.record(hca_.fabric().engine().now(), obs::Ev::rnr_nak,
+                     hca_.node_id(), remote_node_, qpn_, pkt.msn, 0);
+        }
         dropping_msn_ = pkt.msn;
         send_control(PacketKind::rnr_nak, pkt.msn);
         return;
@@ -406,6 +431,10 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
     std::memmove(wr.local_addr, pkt.msg->bytes(), pkt.msg->length);
   }
   ++stats_.messages_received;
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    rec.record(hca_.fabric().engine().now(), obs::Ev::msg_delivered,
+               hca_.node_id(), remote_node_, qpn_, pkt.msn, pkt.msg->length);
+  }
   recv_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::recv,
                             pkt.msg->length, qpn_, pkt.src_qpn});
   send_control(PacketKind::ack, pkt.msn,
@@ -442,6 +471,10 @@ void QueuePair::responder_accept_write(const Packet& pkt) {
   if (pkt.msg->length > 0)
     std::memmove(pkt.msg->remote_addr, pkt.msg->bytes(), pkt.msg->length);
   ++stats_.messages_received;
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    rec.record(hca_.fabric().engine().now(), obs::Ev::msg_delivered,
+               hca_.node_id(), remote_node_, qpn_, pkt.msn, pkt.msg->length);
+  }
   send_control(PacketKind::ack, pkt.msn,
                static_cast<std::int64_t>(recvq_.size()));
 }
@@ -543,6 +576,12 @@ void QueuePair::retire_acked_() {
   while (!unacked_.empty() && unacked_.front().acked) {
     const PendingSend ps = std::move(unacked_.front());
     unacked_.pop_front();
+    if (auto& rec = obs::recorder(); rec.enabled()) {
+      const auto now = hca_.fabric().engine().now();
+      rec.record(now, obs::Ev::msg_acked, hca_.node_id(), remote_node_, qpn_,
+                 ps.msn, ps.data ? ps.data->length : 0);
+      if (ps.first_tx_at.count() >= 0) rec.note_wire_to_ack(now - ps.first_tx_at);
+    }
     WcOpcode op = WcOpcode::send;
     if (ps.wr.opcode == WrOpcode::rdma_write) op = WcOpcode::rdma_write;
     if (ps.wr.opcode == WrOpcode::rdma_read) op = WcOpcode::rdma_read;
@@ -701,6 +740,10 @@ void QueuePair::modify_error() {
 void QueuePair::enter_error() {
   if (state_ == QpState::error) return;
   state_ = QpState::error;
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    rec.record(hca_.fabric().engine().now(), obs::Ev::qp_error, hca_.node_id(),
+               remote_node_, qpn_, 0, 0);
+  }
   rnr_timer_.cancel();
   disarm_retx_timer();
   for (const auto& ps : pending_tx_)

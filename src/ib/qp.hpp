@@ -89,6 +89,10 @@ class QueuePair {
     int rnr_retries_left = 0;
     bool retransmission = false;
     bool acked = false;
+    // Flight-recorder latency stamps; TimePoint(-1) = never stamped (the
+    // stamps are only taken while the recorder is enabled).
+    sim::TimePoint posted_at{-1};
+    sim::TimePoint first_tx_at{-1};
   };
 
   void pump_tx();

@@ -129,6 +129,27 @@ struct QpStats {
     seq_naks_received += o.seq_naks_received;
     corrupt_packets_received += o.corrupt_packets_received;
   }
+
+  /// Enumerate every counter as (name, value) for a metrics sink.
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    f("messages_sent", static_cast<double>(messages_sent));
+    f("bytes_sent", static_cast<double>(bytes_sent));
+    f("packets_sent", static_cast<double>(packets_sent));
+    f("messages_received", static_cast<double>(messages_received));
+    f("rnr_naks_received", static_cast<double>(rnr_naks_received));
+    f("rnr_naks_sent", static_cast<double>(rnr_naks_sent));
+    f("retransmitted_messages", static_cast<double>(retransmitted_messages));
+    f("retransmitted_bytes", static_cast<double>(retransmitted_bytes));
+    f("packets_dropped", static_cast<double>(packets_dropped));
+    f("transport_retries", static_cast<double>(transport_retries));
+    f("seq_naks_sent", static_cast<double>(seq_naks_sent));
+    f("seq_naks_received", static_cast<double>(seq_naks_received));
+    f("corrupt_packets_received",
+      static_cast<double>(corrupt_packets_received));
+    f("last_advertised_credits",
+      static_cast<double>(last_advertised_credits));
+  }
 };
 
 }  // namespace mvflow::ib

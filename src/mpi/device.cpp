@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mpi/world.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 
 namespace mvflow::mpi {
@@ -15,6 +16,9 @@ constexpr std::size_t kBounceChunk = 64;  // bounce slots added per arena
 Device::Device(World& world, Rank me) : world_(world), me_(me) {
   hca_ = &world_.fabric().hca(me);
   cq_ = hca_->create_cq();
+  world_.metrics().add_source(
+      "rank" + std::to_string(me_) + ".device.",
+      [this](const obs::MetricsRegistry::EmitFn& e) { stats_.visit(e); });
 }
 
 Device::~Device() = default;
@@ -31,6 +35,18 @@ ib::QueuePair& Device::create_endpoint(Rank peer) {
   qp_to_peer_.emplace(ep->qp->qpn(), peer);
   ib::QueuePair& qp = *ep->qp;
   endpoints_.emplace(peer, std::move(ep));
+  // Per-connection metrics; looked up by rank at snapshot time so the
+  // sources survive a reconnect replacing the QP object.
+  const std::string conn =
+      "rank" + std::to_string(me_) + ".peer" + std::to_string(peer) + ".";
+  world_.metrics().add_source(
+      conn + "flow.", [this, peer](const obs::MetricsRegistry::EmitFn& e) {
+        flow(peer).counters().visit(e);
+      });
+  world_.metrics().add_source(
+      conn + "qp.", [this, peer](const obs::MetricsRegistry::EmitFn& e) {
+        qp_stats(peer).visit(e);
+      });
   return qp;
 }
 
@@ -214,6 +230,10 @@ void Device::send_credited(Endpoint& ep, WireHeader hdr,
                            RequestPtr eager_req) {
   util::check(is_credited(hdr.kind), "send_credited with control kind");
   if (ep.backlog.empty() && ep.flow.try_acquire_credit()) {
+    if (auto& rec = obs::recorder(); rec.enabled()) {
+      rec.record(world_.engine().now(), obs::Ev::credit_consume, me_, ep.peer,
+                 ep.qp->qpn(), 1, ep.flow.credits());
+    }
     post_wire(ep, hdr, payload);
     if (eager_req) eager_req->mark_complete();  // buffered-send semantics
     return;
@@ -223,7 +243,13 @@ void Device::send_credited(Endpoint& ep, WireHeader hdr,
   entry.hdr = hdr;
   entry.payload.assign(payload.begin(), payload.end());
   entry.eager_req = std::move(eager_req);
+  const sim::TimePoint now = world_.engine().now();
+  entry.enqueued_at = now;
   ep.backlog.push_back(std::move(entry));
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    rec.record(now, obs::Ev::backlog_enter, me_, ep.peer, ep.qp->qpn(),
+               ep.backlog.size(), ep.flow.credits());
+  }
   drain_backlog(ep);  // under famine the head may leave as an optimistic RTS
 }
 
@@ -232,6 +258,14 @@ void Device::drain_backlog(Endpoint& ep) {
     BacklogEntry entry = std::move(ep.backlog.front());
     ep.backlog.pop_front();
     ep.flow.note_backlog_dispatched();
+    if (auto& rec = obs::recorder(); rec.enabled()) {
+      const auto now = world_.engine().now();
+      rec.record(now, obs::Ev::credit_consume, me_, ep.peer, ep.qp->qpn(), 1,
+                 ep.flow.credits());
+      rec.record(now, obs::Ev::backlog_dispatch, me_, ep.peer, ep.qp->qpn(),
+                 ep.backlog.size(), ep.flow.credits());
+      rec.note_backlog_residency(now - entry.enqueued_at);
+    }
     entry.hdr.backlogged = 1;  // dynamic-scheme feedback bit
     post_wire(ep, entry.hdr, entry.payload);
     if (entry.eager_req) entry.eager_req->mark_complete();
@@ -257,6 +291,12 @@ void Device::dispatch_famine_head(Endpoint& ep) {
   ep.backlog.pop_front();
   ep.flow.note_backlog_dispatched();
   ep.flow.note_optimistic_rts();
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    const auto now = world_.engine().now();
+    rec.record(now, obs::Ev::backlog_dispatch, me_, ep.peer, ep.qp->qpn(),
+               ep.backlog.size(), ep.flow.credits());
+    rec.note_backlog_residency(now - entry.enqueued_at);
+  }
   ep.famine_rts_inflight = true;
 
   WireHeader rts;
@@ -294,6 +334,10 @@ void Device::send_ecm(Endpoint& ep) {
   WireHeader hdr;
   hdr.kind = MsgKind::credit;
   ep.flow.note_ecm_sent();
+  if (auto& rec = obs::recorder(); rec.enabled()) {
+    rec.record(world_.engine().now(), obs::Ev::ecm_sent, me_, ep.peer,
+               ep.qp->qpn(), ep.flow.pending_return_credits(), 0);
+  }
   post_wire(ep, hdr, {});
 }
 
@@ -598,7 +642,14 @@ void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
   }
   ++ep.rx_seq;
 
-  if (hdr.piggyback_credits > 0) ep.flow.add_credits(hdr.piggyback_credits);
+  if (hdr.piggyback_credits > 0) {
+    ep.flow.add_credits(hdr.piggyback_credits);
+    if (auto& rec = obs::recorder(); rec.enabled()) {
+      rec.record(world_.engine().now(), obs::Ev::credit_grant, me_, ep.peer,
+                 ep.qp->qpn(), static_cast<std::uint64_t>(hdr.piggyback_credits),
+                 ep.flow.credits());
+    }
+  }
   if (hdr.backlogged != 0) {
     const int extra = ep.flow.on_backlogged_flag();
     if (extra > 0) grow_recv_slots(ep, extra);

@@ -46,6 +46,25 @@ struct DeviceStats {
   std::uint64_t endpoint_failures = 0;   ///< Connections declared dead.
   std::uint64_t reconnects = 0;          ///< Connections rebuilt after a QP error.
   std::uint64_t requests_failed = 0;     ///< Requests completed with error status.
+
+  /// Enumerate every counter as (name, value) for a metrics sink.
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    f("eager_sent", static_cast<double>(eager_sent));
+    f("rndv_started", static_cast<double>(rndv_started));
+    f("small_converted_to_rndv", static_cast<double>(small_converted_to_rndv));
+    f("payload_bytes_sent", static_cast<double>(payload_bytes_sent));
+    f("reg_cache_hits", static_cast<double>(reg_cache_hits));
+    f("reg_cache_misses", static_cast<double>(reg_cache_misses));
+    f("max_unexpected", static_cast<double>(max_unexpected));
+    f("error_completions", static_cast<double>(error_completions));
+    f("stale_completions", static_cast<double>(stale_completions));
+    f("duplicate_wire_msgs", static_cast<double>(duplicate_wire_msgs));
+    f("replayed_wire_msgs", static_cast<double>(replayed_wire_msgs));
+    f("endpoint_failures", static_cast<double>(endpoint_failures));
+    f("reconnects", static_cast<double>(reconnects));
+    f("requests_failed", static_cast<double>(requests_failed));
+  }
 };
 
 class Device {
@@ -112,6 +131,7 @@ class Device {
     WireHeader hdr;
     std::vector<std::byte> payload;  // eager payload (empty for RTS)
     RequestPtr eager_req;            // completes at dispatch (eager only)
+    sim::TimePoint enqueued_at{0};   // backlog-residency latency stamp
   };
   struct Endpoint {
     Rank peer = -1;

@@ -1,12 +1,29 @@
 #include "mpi/world.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "mpi/communicator.hpp"
+#include "obs/recorder.hpp"
 #include "sim/process.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace mvflow::mpi {
+
+namespace {
+
+/// $MVFLOW_TRACE_CAPACITY as a ring size; 0/garbage falls back to default.
+std::size_t trace_capacity_from_env() {
+  const char* s = std::getenv("MVFLOW_TRACE_CAPACITY");
+  if (s == nullptr || *s == '\0') return obs::FlightRecorder::kDefaultCapacity;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || v == 0) return obs::FlightRecorder::kDefaultCapacity;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
 
 std::uint64_t WorldStats::total_ecm() const {
   std::uint64_t n = 0;
@@ -46,7 +63,28 @@ int WorldStats::max_posted_buffers() const {
 
 World::World(WorldConfig cfg) : cfg_(cfg) {
   util::require(cfg_.num_ranks >= 1, "need at least one rank");
+
+  // $MVFLOW_TRACE turns the flight recorder on for this World's run; the
+  // ring is cleared so the exported trace covers exactly this simulation.
+  if (std::getenv("MVFLOW_TRACE") != nullptr) {
+    obs::recorder().enable(trace_capacity_from_env());
+  }
+
   fabric_ = std::make_unique<ib::Fabric>(engine_, cfg_.fabric, cfg_.num_ranks);
+
+  metrics_.add_source("engine.", [this](const obs::MetricsRegistry::EmitFn& e) {
+    engine_.perf_stats().visit(e);
+  });
+  metrics_.add_source("fabric.", [this](const obs::MetricsRegistry::EmitFn& e) {
+    fabric_->stats().visit(e);
+  });
+  metrics_.add_source("msg_pool.", [this](const obs::MetricsRegistry::EmitFn& e) {
+    fabric_->msg_pool_stats().visit(e);
+  });
+  metrics_.add_source("latency.", [](const obs::MetricsRegistry::EmitFn& e) {
+    obs::recorder().latency().visit(e);
+  });
+
   devices_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
   for (Rank r = 0; r < cfg_.num_ranks; ++r) {
     devices_.push_back(std::make_unique<Device>(*this, r));
@@ -149,6 +187,24 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
 
   elapsed_ = sim::Duration::zero();
   for (auto t : finish) elapsed_ = std::max(elapsed_, t);
+
+  // Environment-driven exports: a metrics snapshot, the Chrome trace, and
+  // the credit/backlog CSV, each gated on its own variable.
+  metrics_.write_env_json();
+  if (const char* path = std::getenv("MVFLOW_TRACE");
+      path != nullptr && *path != '\0') {
+    if (!obs::recorder().export_chrome_trace(path)) {
+      util::Logger::write(util::LogLevel::error, "obs",
+                          std::string("cannot write trace file ") + path);
+    }
+  }
+  if (const char* path = std::getenv("MVFLOW_TRACE_CSV");
+      path != nullptr && *path != '\0') {
+    if (!obs::recorder().export_credit_csv(path)) {
+      util::Logger::write(util::LogLevel::error, "obs",
+                          std::string("cannot write credit CSV ") + path);
+    }
+  }
   return elapsed_;
 }
 

@@ -15,6 +15,7 @@
 #include "ib/fabric.hpp"
 #include "mpi/config.hpp"
 #include "mpi/device.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace mvflow::mpi {
@@ -99,9 +100,18 @@ class World {
   /// Collect per-connection / per-device / fabric statistics.
   WorldStats collect_stats() const;
 
+  /// Unified metrics registry: the engine, fabric, pool, per-device and
+  /// per-connection stats all register sources here; one snapshot() yields
+  /// the whole stack's counters as a flat document (DESIGN.md §11).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
  private:
   WorldConfig cfg_;
   sim::Engine engine_;
+  // Declared before fabric_/devices_: sources capture pointers into those
+  // objects, and member order guarantees the registry outlives none of them
+  // while they can still be snapshotted.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<ib::Fabric> fabric_;
   std::vector<std::unique_ptr<Device>> devices_;
   sim::Duration elapsed_{0};

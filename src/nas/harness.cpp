@@ -65,6 +65,7 @@ KernelResult run_app(App app, mpi::WorldConfig wcfg, const NasParams& params) {
   result.metric = outcome.metric;
   result.elapsed = elapsed;
   result.stats = world.collect_stats();
+  result.metrics = world.metrics().snapshot();
   return result;
 }
 

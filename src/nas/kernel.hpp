@@ -29,6 +29,7 @@
 #include <string_view>
 
 #include "mpi/world.hpp"
+#include "obs/metrics.hpp"
 
 namespace mvflow::nas {
 
@@ -57,6 +58,9 @@ struct KernelResult {
   double metric = 0.0;  ///< App-specific: residual, round-trip error, ...
   sim::Duration elapsed{0};
   mpi::WorldStats stats;
+  /// Full metrics-registry capture of the run's World (engine, fabric,
+  /// per-device and per-connection flow/QP counters).
+  obs::Snapshot metrics;
 };
 
 /// Run one kernel on a fresh World built from `wcfg` (num_ranks is

@@ -1,0 +1,158 @@
+// Sim-time flight recorder (DESIGN.md §11).
+//
+// A bounded ring buffer of compact 32-byte trace events covering the
+// flow-control lifecycle the paper argues about: message posted → segmented
+// → on-wire → delivered → ACKed, credit grant/consume, backlog
+// enter/dispatch, ECM sent, RNR NAK, retransmit, QP error. Events are
+// stamped with engine (simulated) time by the call site and exported as
+// Chrome `trace_event` JSON — one process track per rank/node, one thread
+// track per QP, viewable in Perfetto or chrome://tracing — plus a CSV
+// time-series of credit count and backlog depth per connection.
+//
+// Overhead contract: the recorder is OFF by default and a disabled
+// recorder costs exactly one predictable branch at each instrumentation
+// site (`if (rec.enabled()) ...` around an out-of-line record()). Nothing
+// allocates while recording — the ring is sized at enable() time and
+// overwrites its oldest events at capacity (`dropped()` counts evictions).
+//
+// The process-global instance (`obs::recorder()`) is what the instrumented
+// layers use; World enables it when $MVFLOW_TRACE is set and exports on
+// run completion. Tests may instantiate private FlightRecorders freely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace mvflow::obs {
+
+enum class Ev : std::uint8_t {
+  msg_posted,        ///< WQE accepted by the QP; a = msn, b = bytes
+  msg_segmented,     ///< multi-packet message; a = msn, b = packet count
+  msg_on_wire,       ///< first transmission started; a = msn, b = bytes
+  msg_acked,         ///< requester retired the send;  a = msn, b = bytes
+  msg_delivered,     ///< responder completed arrival; a = msn, b = bytes
+  credit_grant,      ///< credits learned from peer;   a = granted, b = credits now
+  credit_consume,    ///< credit spent on a send;      a = 1, b = credits now
+  backlog_enter,     ///< send queued, no credit;      a = depth now, b = credits
+  backlog_dispatch,  ///< backlogged send released;    a = depth now, b = credits
+  ecm_sent,          ///< explicit credit message;     a = credits carried
+  rnr_nak,           ///< responder had no buffer;     a = msn
+  retransmit,        ///< message re-entered the wire; a = msn, b = bytes
+  qp_error,          ///< QP entered the error state
+};
+inline constexpr std::size_t kEvKinds = 13;
+
+std::string_view to_string(Ev e);
+
+struct TraceEvent {
+  sim::TimePoint t{0};
+  std::uint64_t a = 0;  ///< kind-specific, see Ev
+  std::int64_t b = 0;   ///< kind-specific, see Ev
+  std::uint32_t qpn = 0;
+  std::int16_t rank = -1;  ///< originating rank/node
+  std::int16_t peer = -1;  ///< remote rank/node (-1 when not applicable)
+  Ev kind = Ev::msg_posted;
+};
+
+/// Per-message latency breakdown derived from the lifecycle events; fed by
+/// the instrumented layers only while the recorder is enabled.
+struct LatencyBreakdown {
+  util::RunningStats post_to_wire;       ///< WQE post → first byte on wire
+  util::RunningStats wire_to_ack;        ///< first transmission → retired
+  util::RunningStats backlog_residency;  ///< backlog enter → dispatch
+  util::Histogram post_to_wire_hist{0.0, 50'000.0, 50};        // ns
+  util::Histogram wire_to_ack_hist{0.0, 200'000.0, 50};        // ns
+  util::Histogram backlog_residency_hist{0.0, 2'000'000.0, 50};  // ns
+
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    emit_visit("post_to_wire", post_to_wire, post_to_wire_hist, f);
+    emit_visit("wire_to_ack", wire_to_ack, wire_to_ack_hist, f);
+    emit_visit("backlog_residency", backlog_residency, backlog_residency_hist, f);
+  }
+
+ private:
+  template <typename Fn>
+  static void emit_visit(std::string_view name, const util::RunningStats& rs,
+                         const util::Histogram& h, Fn& f) {
+    const std::string base(name);
+    f(base + ".count", static_cast<double>(rs.count()));
+    f(base + ".mean_ns", rs.mean());
+    f(base + ".min_ns", rs.min());
+    f(base + ".max_ns", rs.max());
+    f(base + ".p50_ns", h.quantile(0.50));
+    f(base + ".p99_ns", h.quantile(0.99));
+  }
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  /// The one branch instrumentation sites take when tracing is off.
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Size (or resize) the ring and start recording. Clears prior events.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  /// Stop recording; the captured events stay exportable.
+  void disable() noexcept { enabled_ = false; }
+  /// Drop all captured events and latency stats (capacity retained).
+  void clear() noexcept;
+
+  /// Append one event (overwrites the oldest at capacity). Out-of-line on
+  /// purpose: the enabled() branch at the call site is the hot-path cost.
+  void record(sim::TimePoint t, Ev kind, int rank, int peer, std::uint32_t qpn,
+              std::uint64_t a, std::int64_t b) noexcept;
+
+  // Latency feeds (call only when enabled()).
+  void note_post_to_wire(sim::Duration d) noexcept;
+  void note_wire_to_ack(sim::Duration d) noexcept;
+  void note_backlog_residency(sim::Duration d) noexcept;
+  const LatencyBreakdown& latency() const noexcept { return latency_; }
+
+  std::size_t size() const noexcept;
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events evicted by the ring wrapping.
+  std::uint64_t dropped() const noexcept;
+  /// Total record() calls since enable()/clear(), per kind and overall —
+  /// counted even for events the ring later overwrote.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t count(Ev kind) const noexcept {
+    return kind_counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Copy of the retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) with rank process
+  /// tracks, QP thread tracks, instant events for every kind, and counter
+  /// tracks for credits / backlog depth per connection.
+  void export_chrome_trace(std::ostream& os) const;
+  bool export_chrome_trace(const std::string& path) const;
+
+  /// CSV time-series: time_ns,rank,peer,event,credits,backlog_depth —
+  /// one row per credit/backlog event, carrying the last-known value of
+  /// the other column for that connection.
+  void export_credit_csv(std::ostream& os) const;
+  bool export_credit_csv(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;        ///< next write position
+  std::uint64_t recorded_ = 0;  ///< total record() calls
+  std::uint64_t kind_counts_[kEvKinds] = {};
+  LatencyBreakdown latency_;
+};
+
+/// The process-global recorder the instrumented layers consult.
+FlightRecorder& recorder() noexcept;
+
+}  // namespace mvflow::obs

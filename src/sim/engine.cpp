@@ -4,6 +4,7 @@
 
 #include "sim/process.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace mvflow::sim {
 
@@ -24,9 +25,20 @@ std::vector<Engine*>& live_engines() {
 
 }  // namespace
 
-Engine::Engine() { live_engines().push_back(this); }
+Engine::Engine() {
+  live_engines().push_back(this);
+  // Give the logger simulated time while this engine exists, so MVFLOW_LOG
+  // lines correlate with trace/metrics timestamps.
+  util::Logger::push_time_source(
+      [](const void* ctx) {
+        return static_cast<long long>(
+            static_cast<const Engine*>(ctx)->now().count());
+      },
+      this);
+}
 
 Engine::~Engine() {
+  util::Logger::pop_time_source(this);
   auto& v = live_engines();
   v.erase(std::remove(v.begin(), v.end(), this), v.end());
 }

@@ -40,6 +40,18 @@ struct EnginePerfStats {
         static_cast<double>(pool_reuses) + static_cast<double>(pool_allocs);
     return total == 0 ? 0.0 : static_cast<double>(pool_reuses) / total;
   }
+
+  /// Enumerate every counter as (name, value) for a metrics sink.
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    f("scheduled", static_cast<double>(scheduled));
+    f("executed", static_cast<double>(executed));
+    f("cancelled_before_fire", static_cast<double>(cancelled_before_fire));
+    f("peak_heap_depth", static_cast<double>(peak_heap_depth));
+    f("pool_reuses", static_cast<double>(pool_reuses));
+    f("pool_allocs", static_cast<double>(pool_allocs));
+    f("pool_hit_rate", pool_hit_rate());
+  }
 };
 
 /// Handle for a scheduled event; lets the scheduler cancel timers (e.g. an

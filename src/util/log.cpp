@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
+#include <vector>
 
 namespace mvflow::util {
 
@@ -34,6 +36,26 @@ LogLevel& level_storage() {
   return lvl;
 }
 
+struct TimeSource {
+  Logger::TimeSourceFn fn = nullptr;
+  const void* ctx = nullptr;
+};
+
+std::vector<TimeSource>& time_sources() {
+  static std::vector<TimeSource> sources;
+  return sources;
+}
+
+/// Human-readable simulated time, mirroring sim::format_time ("12.345us");
+/// duplicated locally because util sits below the sim layer.
+void format_ns(char* buf, std::size_t n, long long ns) {
+  const double t = static_cast<double>(ns);
+  if (ns < 1'000) std::snprintf(buf, n, "%lldns", ns);
+  else if (ns < 1'000'000) std::snprintf(buf, n, "%.3fus", t / 1e3);
+  else if (ns < 1'000'000'000) std::snprintf(buf, n, "%.3fms", t / 1e6);
+  else std::snprintf(buf, n, "%.3fs", t / 1e9);
+}
+
 }  // namespace
 
 LogLevel Logger::level() { return level_storage(); }
@@ -42,9 +64,32 @@ void Logger::set_level(LogLevel lvl) { level_storage() = lvl; }
 
 void Logger::write(LogLevel lvl, std::string_view component,
                    std::string_view message) {
+  const auto& sources = time_sources();
+  if (!sources.empty()) {
+    char ts[32];
+    format_ns(ts, sizeof ts, sources.back().fn(sources.back().ctx));
+    std::fprintf(stderr, "[%s] [%s] %.*s: %.*s\n", level_name(lvl), ts,
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+    return;
+  }
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
+}
+
+void Logger::push_time_source(TimeSourceFn fn, const void* ctx) {
+  time_sources().push_back(TimeSource{fn, ctx});
+}
+
+void Logger::pop_time_source(const void* ctx) {
+  auto& sources = time_sources();
+  for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
+    if (it->ctx == ctx) {
+      sources.erase(std::next(it).base());
+      return;
+    }
+  }
 }
 
 }  // namespace mvflow::util

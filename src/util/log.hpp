@@ -20,9 +20,20 @@ class Logger {
 
   static bool enabled(LogLevel lvl) { return lvl <= level(); }
 
-  /// Emit one line to stderr, prefixed with the level and component tag.
+  /// Emit one line to stderr, prefixed with the level and component tag —
+  /// and, when a time source is active, the current simulated time, so
+  /// MVFLOW_LOG output correlates with trace/metrics timestamps.
   static void write(LogLevel lvl, std::string_view component,
                     std::string_view message);
+
+  /// Current-time callback returning nanoseconds; `ctx` identifies the
+  /// owner (a sim::Engine registers itself on construction). Sources stack:
+  /// the most recently pushed one wins, and pop removes by ctx so nested
+  /// engine lifetimes unwind in any order. Kept as a plain function pointer
+  /// to avoid std::function overhead on a layer below everything else.
+  using TimeSourceFn = long long (*)(const void* ctx);
+  static void push_time_source(TimeSourceFn fn, const void* ctx);
+  static void pop_time_source(const void* ctx);
 };
 
 /// Streaming helper: LogLine(LogLevel::debug, "ib") << "qp " << qpn;

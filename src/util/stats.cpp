@@ -73,6 +73,24 @@ double Histogram::bucket_lo(std::size_t i) const noexcept {
 
 double Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return lo_;
+  if (q <= 0.0) {
+    // Exact minimum-side contract: lo_ only when a sample actually fell
+    // below the range; otherwise the midpoint of the lowest occupied
+    // bucket, falling back to hi_ when only overflow samples exist.
+    if (underflow_ > 0) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) return bucket_lo(i) + width_ / 2;
+    }
+    return hi_;
+  }
+  if (q >= 1.0) {
+    // Mirror image: hi_ only when a sample overflowed the range.
+    if (overflow_ > 0) return hi_;
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      if (counts_[i] > 0) return bucket_lo(i) + width_ / 2;
+    }
+    return lo_;
+  }
   const auto target = static_cast<std::size_t>(q * static_cast<double>(total_));
   std::size_t seen = underflow_;
   if (seen > target) return lo_;

@@ -45,8 +45,16 @@ class Histogram {
   std::size_t bucket(std::size_t i) const { return counts_.at(i); }
   std::size_t underflow() const noexcept { return underflow_; }
   std::size_t overflow() const noexcept { return overflow_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   double bucket_lo(std::size_t i) const noexcept;
-  double quantile(double q) const noexcept;  ///< Approximate (bucket midpoint).
+  /// Approximate quantile (bucket midpoint of the bucket holding the q-th
+  /// sample). Edge contract: an empty histogram returns lo() for every q;
+  /// q <= 0 returns lo() only if a sample underflowed, else the midpoint of
+  /// the lowest occupied bucket (hi() when only overflow samples exist);
+  /// q >= 1 returns hi() only if a sample overflowed, else the midpoint of
+  /// the highest occupied bucket (lo() when only underflow samples exist).
+  double quantile(double q) const noexcept;
 
   std::string to_string(int max_width = 40) const;
 

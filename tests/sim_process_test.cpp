@@ -30,13 +30,13 @@ TEST(Process, TwoProcessesInterleaveDeterministically) {
   std::vector<std::string> trace;
   Process a(eng, "a", [&](Process& self) {
     for (int i = 0; i < 3; ++i) {
-      trace.push_back("a" + std::to_string(i));
+      trace.push_back(std::string("a") + std::to_string(i));
       self.delay(Duration(10));
     }
   });
   Process b(eng, "b", [&](Process& self) {
     for (int i = 0; i < 3; ++i) {
-      trace.push_back("b" + std::to_string(i));
+      trace.push_back(std::string("b") + std::to_string(i));
       self.delay(Duration(15));
     }
   });

@@ -177,6 +177,47 @@ TEST(Histogram, QuantileApproximation) {
   EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
 }
 
+TEST(Histogram, QuantileEmptyReturnsLoForAllQ) {
+  const mu::Histogram h(10.0, 20.0, 5);
+  EXPECT_EQ(h.quantile(0.0), 10.0);
+  EXPECT_EQ(h.quantile(0.5), 10.0);
+  EXPECT_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileSingleBucketMidpointAtExtremes) {
+  mu::Histogram h(0.0, 100.0, 10);
+  h.add(42.0);  // lands in [40, 50): midpoint 45
+  EXPECT_EQ(h.quantile(0.0), 45.0);
+  EXPECT_EQ(h.quantile(0.5), 45.0);
+  EXPECT_EQ(h.quantile(1.0), 45.0);
+}
+
+TEST(Histogram, QuantileUnderflowOnly) {
+  mu::Histogram h(0.0, 100.0, 10);
+  h.add(-5.0);
+  // All mass below the range: q=0 pins to lo, and q=1 has no occupied
+  // bucket or overflow to report, so it falls back to lo as well.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileOverflowOnly) {
+  mu::Histogram h(0.0, 100.0, 10);
+  h.add(250.0);
+  EXPECT_EQ(h.quantile(0.0), 100.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileMixedExtremesPinToBounds) {
+  mu::Histogram h(0.0, 100.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(55.0);   // in range
+  h.add(300.0);  // overflow
+  EXPECT_EQ(h.quantile(0.0), 0.0);    // underflow present -> lo
+  EXPECT_EQ(h.quantile(1.0), 100.0);  // overflow present -> hi
+  EXPECT_EQ(h.quantile(0.5), 55.0);   // midpoint of [50, 60)
+}
+
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(mu::Histogram(5.0, 5.0, 10), std::invalid_argument);
   EXPECT_THROW(mu::Histogram(0.0, 1.0, 0), std::invalid_argument);

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate bench_sim_throughput against a committed baseline.
+
+Compares the current BENCH_sim_throughput.json against the baseline at
+bench/baseline/BENCH_sim_throughput.json: every (bytes, window,
+transport_timers) point's mevents_per_s and the aggregate
+total_mevents_per_s must be no more than --tolerance below the baseline.
+Faster-than-baseline is always fine. Exits 1 on regression so CI can fail
+the step; stdlib only.
+
+Usage:
+  tools/check_perf_regression.py --baseline bench/baseline/BENCH_sim_throughput.json \
+      --current build/BENCH_sim_throughput.json [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def point_key(point):
+    return (point.get("bytes"), point.get("window"),
+            point.get("transport_timers"))
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional slowdown (default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    current_points = {point_key(p): p for p in current.get("points", [])}
+    failures = []
+    checks = []
+
+    def check(label, base_v, cur_v):
+        if base_v is None or base_v <= 0:
+            return
+        ratio = cur_v / base_v
+        checks.append((label, base_v, cur_v, ratio))
+        if ratio < 1.0 - args.tolerance:
+            failures.append(label)
+
+    check("total_mevents_per_s", baseline.get("total_mevents_per_s"),
+          current.get("total_mevents_per_s", 0.0))
+
+    for bp in baseline.get("points", []):
+        key = point_key(bp)
+        label = "bytes=%s window=%s timers=%s" % key
+        cp = current_points.get(key)
+        if cp is None:
+            failures.append(label + " (missing from current run)")
+            continue
+        check(label, bp.get("mevents_per_s"), cp.get("mevents_per_s", 0.0))
+
+    print("perf check: tolerance %.0f%% slowdown vs %s" %
+          (100.0 * args.tolerance, args.baseline))
+    for label, base_v, cur_v, ratio in checks:
+        verdict = "FAIL" if ratio < 1.0 - args.tolerance else "ok"
+        print("  [%s] %-40s baseline %8.3f  current %8.3f  (%.2fx)" %
+              (verdict, label, base_v, cur_v, ratio))
+
+    if failures:
+        print("REGRESSION: %d check(s) slower than baseline by more than "
+              "%.0f%%:" % (len(failures), 100.0 * args.tolerance))
+        for label in failures:
+            print("  - " + label)
+        return 1
+    print("all %d checks within tolerance" % len(checks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
