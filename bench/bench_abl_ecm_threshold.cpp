@@ -18,11 +18,22 @@ int main(int argc, char** argv) {
   params.compute_ns_per_point = opts.get_double("cns", 1.0);
 
   std::puts("# Ablation A1: ECM threshold sweep, LU, static scheme, prepost=100");
-  util::Table t({"threshold", "runtime_ms", "ecm_msgs", "ecm_%", "backlogged"});
-  for (int threshold : {1, 2, 5, 10, 20, 40, 64}) {
+  const exp::SweepRunner runner = sweep_runner(opts);
+  const int kThresholds[] = {1, 2, 5, 10, 20, 40, 64};
+  std::vector<std::function<nas::KernelResult()>> cells;
+  for (int threshold : kThresholds) {
     auto cfg = base_config(flowctl::Scheme::user_static, 100, 0);
     cfg.flow.ecm_threshold = threshold;
-    const auto r = nas::run_app(nas::App::lu, cfg, params);
+    quiet_if_parallel(cfg, runner);
+    cells.push_back(
+        [cfg, params] { return nas::run_app(nas::App::lu, cfg, params); });
+  }
+  const auto results = runner.run<nas::KernelResult>(cells);
+
+  util::Table t({"threshold", "runtime_ms", "ecm_msgs", "ecm_%", "backlogged"});
+  std::size_t idx = 0;
+  for (int threshold : kThresholds) {
+    const auto& r = results[idx++];
     const auto ecm = r.stats.total_ecm();
     const auto total = r.stats.total_messages();
     t.add(threshold, sim::to_ms(r.elapsed), ecm,

@@ -16,20 +16,36 @@ int main(int argc, char** argv) {
   params.compute_ns_per_point = opts.get_double("cns", 1.0);
 
   std::puts("# Ablation A2: dynamic-scheme growth policy on LU (start=1)");
-  util::Table t({"policy", "step", "runtime_ms", "max_posted", "growth_events"});
-  for (int step : {1, 2, 4, 8}) {
+  const exp::SweepRunner runner = sweep_runner(opts);
+  const int kSteps[] = {1, 2, 4, 8};
+  std::vector<std::function<nas::KernelResult()>> cells;
+  for (int step : kSteps) {
     auto cfg = base_config(flowctl::Scheme::user_dynamic, 1, 0);
     cfg.flow.growth_step = step;
-    const auto r = nas::run_app(nas::App::lu, cfg, params);
+    quiet_if_parallel(cfg, runner);
+    cells.push_back(
+        [cfg, params] { return nas::run_app(nas::App::lu, cfg, params); });
+  }
+  {
+    auto cfg = base_config(flowctl::Scheme::user_dynamic, 1, 0);
+    cfg.flow.exponential_growth = true;
+    quiet_if_parallel(cfg, runner);
+    cells.push_back(
+        [cfg, params] { return nas::run_app(nas::App::lu, cfg, params); });
+  }
+  const auto results = runner.run<nas::KernelResult>(cells);
+
+  util::Table t({"policy", "step", "runtime_ms", "max_posted", "growth_events"});
+  std::size_t idx = 0;
+  for (int step : kSteps) {
+    const auto& r = results[idx++];
     std::uint64_t growth = 0;
     for (const auto& c : r.stats.connections) growth += c.flow.growth_events;
     t.add("linear", step, sim::to_ms(r.elapsed), r.stats.max_posted_buffers(),
           growth);
   }
   {
-    auto cfg = base_config(flowctl::Scheme::user_dynamic, 1, 0);
-    cfg.flow.exponential_growth = true;
-    const auto r = nas::run_app(nas::App::lu, cfg, params);
+    const auto& r = results[idx];
     std::uint64_t growth = 0;
     for (const auto& c : r.stats.connections) growth += c.flow.growth_events;
     t.add("exponential", 0, sim::to_ms(r.elapsed), r.stats.max_posted_buffers(),

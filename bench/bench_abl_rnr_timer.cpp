@@ -16,34 +16,25 @@ int main(int argc, char** argv) {
 
   std::printf("# Ablation A3: RNR timer sweep, hardware scheme, 4-byte "
               "non-blocking bandwidth, window=%d, prepost=%d\n", window, prepost);
-  util::Table t({"rnr_timer_us", "Mmsg/s", "rnr_naks", "retransmitted"});
-  for (int us : {5, 10, 20, 40, 80, 160, 320}) {
+  const exp::SweepRunner runner = sweep_runner(opts);
+  const int kTimersUs[] = {5, 10, 20, 40, 80, 160, 320};
+  std::vector<std::function<BwResult()>> cells;
+  for (int us : kTimersUs) {
     mpi::WorldConfig cfg = base_config(flowctl::Scheme::hardware, prepost);
     cfg.fabric.rnr_timeout = sim::microseconds(us);
-    mpi::World world(cfg);
-    const auto elapsed = world.run([&](mpi::Communicator& comm) {
-      std::vector<std::byte> payload(4);
-      std::vector<std::byte> ack(1);
-      std::vector<std::byte> rx(4);
-      for (int rep = 0; rep < 20; ++rep) {
-        if (comm.rank() == 0) {
-          std::vector<mpi::RequestPtr> reqs;
-          for (int i = 0; i < window; ++i)
-            reqs.push_back(comm.isend(payload, 1, 0));
-          comm.wait_all(reqs);
-          comm.recv(ack, 1, 1);
-        } else {
-          std::vector<mpi::RequestPtr> reqs;
-          for (int i = 0; i < window; ++i)
-            reqs.push_back(comm.irecv(rx, 0, 0));
-          comm.wait_all(reqs);
-          comm.send(ack, 0, 1);
-        }
-      }
+    quiet_if_parallel(cfg, runner);
+    cells.push_back([cfg, window] {
+      return run_bandwidth(cfg, /*msg_bytes=*/4, window, /*blocking=*/false);
     });
-    const auto stats = world.collect_stats();
-    t.add(us, static_cast<double>(window) * 20 / sim::to_s(elapsed) / 1e6,
-          stats.total_rnr_naks(), stats.total_retransmitted_messages());
+  }
+  const auto results = runner.run<BwResult>(cells);
+
+  util::Table t({"rnr_timer_us", "Mmsg/s", "rnr_naks", "retransmitted"});
+  std::size_t idx = 0;
+  for (int us : kTimersUs) {
+    const auto& r = results[idx++];
+    t.add(us, r.million_msgs_per_s, r.stats.total_rnr_naks(),
+          r.stats.total_retransmitted_messages());
   }
   t.print(std::cout);
   std::puts("\n# Expectation: throughput falls as the timer grows (each miss");

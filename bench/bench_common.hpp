@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "exp/runner.hpp"
 #include "flowctl/flowctl.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/world.hpp"
@@ -15,6 +16,27 @@
 #include "util/table.hpp"
 
 namespace mvflow::bench {
+
+/// Shared `--jobs=N` / `-j N` flag for the sweep-shaped benches: how many
+/// worker threads run the independent simulation cells. Absent or 0 means
+/// hardware concurrency; `-j 1` reproduces the serial path exactly. The
+/// value feeds exp::SweepRunner, whose job-order result contract makes
+/// every table and JSON artifact bit-identical regardless of this setting.
+inline int sweep_jobs(const util::Options& opts) {
+  return static_cast<int>(opts.get_int("jobs", opts.get_int("j", 0)));
+}
+
+inline exp::SweepRunner sweep_runner(const util::Options& opts) {
+  return exp::SweepRunner(sweep_jobs(opts));
+}
+
+/// Parallel sweep cells must not honour the env-driven per-world export
+/// paths: N concurrent worlds would race writing one $MVFLOW_METRICS /
+/// $MVFLOW_TRACE file. Serial (-j 1) sweeps keep today's behaviour.
+inline void quiet_if_parallel(mpi::WorldConfig& cfg,
+                              const exp::SweepRunner& runner) {
+  if (runner.threads() > 1) cfg.run = cfg.run.quiet();
+}
 
 /// Persist a registry snapshot as `METRICS_<name>.json` next to the
 /// BENCH_*.json records; failures are silent for the same read-only-cwd
@@ -105,11 +127,11 @@ struct BwResult {
 /// The paper's bandwidth test (§6.2.2): the sender pushes `window`
 /// back-to-back messages, the receiver replies after consuming all of
 /// them; repeated `reps` times. Blocking uses send/recv, non-blocking
-/// isend/irecv + waitall.
-inline BwResult run_bandwidth(flowctl::Scheme scheme, int prepost,
-                              std::size_t msg_bytes, int window, bool blocking,
-                              int reps = 20) {
-  mpi::World world(base_config(scheme, prepost));
+/// isend/irecv + waitall. The WorldConfig overload lets sweep jobs pass a
+/// fully-specified (e.g. quieted) configuration.
+inline BwResult run_bandwidth(mpi::WorldConfig cfg, std::size_t msg_bytes,
+                              int window, bool blocking, int reps = 20) {
+  mpi::World world(std::move(cfg));
   const auto elapsed = world.run([&](mpi::Communicator& comm) {
     std::vector<std::byte> payload(msg_bytes == 0 ? 1 : msg_bytes);
     std::vector<std::byte> ackbuf(1);
@@ -155,6 +177,13 @@ inline BwResult run_bandwidth(flowctl::Scheme scheme, int prepost,
   out.mbytes_per_s = msgs * static_cast<double>(msg_bytes) / secs / 1e6;
   out.stats = world.collect_stats();
   return out;
+}
+
+inline BwResult run_bandwidth(flowctl::Scheme scheme, int prepost,
+                              std::size_t msg_bytes, int window, bool blocking,
+                              int reps = 20) {
+  return run_bandwidth(base_config(scheme, prepost), msg_bytes, window,
+                       blocking, reps);
 }
 
 }  // namespace mvflow::bench

@@ -19,15 +19,29 @@ int main(int argc, char** argv) {
   params.compute_ns_per_point = opts.get_double("cns", 1.0);
 
   std::puts("# Figure 10: NAS degradation (%) from prepost=100 to prepost=1");
+  // Each (app, scheme, prepost) run is its own job: 42 independent worlds.
+  const exp::SweepRunner runner = sweep_runner(opts);
+  std::vector<std::function<nas::KernelResult()>> cells;
+  for (auto app : nas::kAllApps) {
+    for (auto scheme : kSchemes) {
+      for (int prepost : {100, 1}) {
+        auto cfg = base_config(scheme, prepost, 0);
+        quiet_if_parallel(cfg, runner);
+        cells.push_back(
+            [app, cfg, params] { return nas::run_app(app, cfg, params); });
+      }
+    }
+  }
+  const auto results = runner.run<nas::KernelResult>(cells);
+
   util::Table t({"app", "hardware_%", "static_%", "dynamic_%"});
+  std::size_t idx = 0;
   for (auto app : nas::kAllApps) {
     double drop[3];
-    int i = 0;
-    for (auto scheme : kSchemes) {
-      const auto r100 = nas::run_app(app, base_config(scheme, 100, 0), params);
-      const auto r1 = nas::run_app(app, base_config(scheme, 1, 0), params);
-      drop[i++] = 100.0 * (sim::to_ms(r1.elapsed) - sim::to_ms(r100.elapsed)) /
-                  sim::to_ms(r100.elapsed);
+    for (int i = 0; i < 3; ++i, idx += 2) {
+      const double ms100 = sim::to_ms(results[idx].elapsed);
+      const double ms1 = sim::to_ms(results[idx + 1].elapsed);
+      drop[i] = 100.0 * (ms1 - ms100) / ms100;
     }
     t.add(std::string(nas::to_string(app)), drop[0], drop[1], drop[2]);
   }

@@ -12,12 +12,14 @@ using namespace mvflow::bench;
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const int iters = static_cast<int>(opts.get_int("iters", 200));
+  const exp::SweepRunner runner = sweep_runner(opts);
 
   std::puts("# Figure 2: MPI one-way latency (us), ping-pong, prepost=100");
   WallTimer wall;
   BenchJson json("fig2_latency");
-  const util::Table t = build_fig2_table(iters, &json);
+  const util::Table t = build_fig2_table(iters, &json, runner.threads());
   t.print(std::cout);
+  json.add_meta("jobs", runner.threads());
   json.write(wall.seconds());
   std::puts("\n# Expectation (paper): all three schemes within a few percent;");
   std::puts("# the hardware scheme has the least bookkeeping but the gap is noise.");

@@ -20,17 +20,27 @@ int main(int argc, char** argv) {
 
   std::puts("# Figure 9: NAS proxy runtimes (simulated ms), prepost=100");
   std::puts("# IS/FT/LU/CG/MG on 8 ranks; BT/SP on 16 ranks");
+  const exp::SweepRunner runner = sweep_runner(opts);
+  std::vector<std::function<nas::KernelResult()>> cells;
+  for (auto app : nas::kAllApps) {
+    for (auto scheme : kSchemes) {
+      auto cfg = base_config(scheme, 100, 0);
+      quiet_if_parallel(cfg, runner);
+      cells.push_back(
+          [app, cfg, params] { return nas::run_app(app, cfg, params); });
+    }
+  }
+  const auto results = runner.run<nas::KernelResult>(cells);
+
   util::Table t({"app", "hardware_ms", "static_ms", "dynamic_ms",
                  "static/hw", "dynamic/hw", "verified"});
+  std::size_t idx = 0;
   for (auto app : nas::kAllApps) {
     double ms[3];
     bool verified = true;
-    int i = 0;
-    for (auto scheme : kSchemes) {
-      auto cfg = base_config(scheme, 100, 0);
-      const auto r = nas::run_app(app, cfg, params);
-      ms[i++] = sim::to_ms(r.elapsed);
-      verified = verified && r.verified;
+    for (int i = 0; i < 3; ++i, ++idx) {
+      ms[i] = sim::to_ms(results[idx].elapsed);
+      verified = verified && results[idx].verified;
     }
     t.add(std::string(nas::to_string(app)), ms[0], ms[1], ms[2], ms[1] / ms[0],
           ms[2] / ms[0], verified ? "yes" : "NO");

@@ -11,57 +11,89 @@
 using namespace mvflow;
 using namespace mvflow::bench;
 
+namespace {
+
+struct LossCell {
+  sim::Duration elapsed{0};
+  mpi::WorldStats stats;
+};
+
+LossCell run_cell(mpi::WorldConfig cfg, std::size_t bytes, int window,
+                  int reps) {
+  mpi::World world(std::move(cfg));
+  LossCell out;
+  out.elapsed = world.run([&](mpi::Communicator& comm) {
+    std::vector<std::byte> payload(bytes);
+    std::vector<std::byte> ack(1);
+    std::vector<std::byte> rx(bytes);
+    for (int rep = 0; rep < reps; ++rep) {
+      if (comm.rank() == 0) {
+        std::vector<mpi::RequestPtr> reqs;
+        reqs.reserve(static_cast<std::size_t>(window));
+        for (int i = 0; i < window; ++i)
+          reqs.push_back(comm.isend(payload, 1, 0));
+        comm.wait_all(reqs);
+        comm.recv(ack, 1, 1);
+      } else {
+        std::vector<mpi::RequestPtr> reqs;
+        reqs.reserve(static_cast<std::size_t>(window));
+        for (int i = 0; i < window; ++i)
+          reqs.push_back(comm.irecv(rx, 0, 0));
+        comm.wait_all(reqs);
+        comm.send(ack, 0, 1);
+      }
+    }
+  });
+  out.stats = world.collect_stats();
+  return out;
+}
+
+constexpr double kLossRates[] = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const int window = static_cast<int>(opts.get_int("window", 64));
   const int prepost = static_cast<int>(opts.get_int("prepost", 100));
   const int reps = static_cast<int>(opts.get_int("reps", 10));
   const std::size_t bytes = static_cast<std::size_t>(opts.get_int("bytes", 1024));
+  const exp::SweepRunner runner = sweep_runner(opts);
 
   std::printf("# Loss sweep: %zu-byte non-blocking bandwidth vs packet-loss "
               "rate, window=%d, prepost=%d, transport timer 50 us\n",
               bytes, window, prepost);
-  util::Table t({"scheme", "loss_pct", "Mmsg/s", "lost_pkts", "retx_msgs",
-                 "seq_naks", "timer_retries"});
+  // Every (scheme, loss) cell carries its fault seed in its own config, so
+  // the sweep parallelizes with bit-identical drop/retransmit counts.
+  std::vector<std::function<LossCell()>> cells;
   for (const auto scheme : kSchemes) {
-    for (const double loss : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+    for (const double loss : kLossRates) {
       mpi::WorldConfig cfg = base_config(scheme, prepost);
       cfg.fabric.transport_timeout = sim::microseconds(50);
       cfg.fabric.transport_retry_limit = -1;
       cfg.fabric.fault.loss_prob = loss;
       cfg.fabric.fault.seed = 0xb10cf001;
-      mpi::World world(cfg);
-      const auto elapsed = world.run([&](mpi::Communicator& comm) {
-        std::vector<std::byte> payload(bytes);
-        std::vector<std::byte> ack(1);
-        std::vector<std::byte> rx(bytes);
-        for (int rep = 0; rep < reps; ++rep) {
-          if (comm.rank() == 0) {
-            std::vector<mpi::RequestPtr> reqs;
-            reqs.reserve(static_cast<std::size_t>(window));
-            for (int i = 0; i < window; ++i)
-              reqs.push_back(comm.isend(payload, 1, 0));
-            comm.wait_all(reqs);
-            comm.recv(ack, 1, 1);
-          } else {
-            std::vector<mpi::RequestPtr> reqs;
-            reqs.reserve(static_cast<std::size_t>(window));
-            for (int i = 0; i < window; ++i)
-              reqs.push_back(comm.irecv(rx, 0, 0));
-            comm.wait_all(reqs);
-            comm.send(ack, 0, 1);
-          }
-        }
-      });
-      const auto stats = world.collect_stats();
+      quiet_if_parallel(cfg, runner);
+      cells.push_back(
+          [cfg, bytes, window, reps] { return run_cell(cfg, bytes, window, reps); });
+    }
+  }
+  const auto results = runner.run<LossCell>(cells);
+
+  util::Table t({"scheme", "loss_pct", "Mmsg/s", "lost_pkts", "retx_msgs",
+                 "seq_naks", "timer_retries"});
+  std::size_t i = 0;
+  for (const auto scheme : kSchemes) {
+    for (const double loss : kLossRates) {
+      const LossCell& r = results[i++];
       std::uint64_t seq_naks = 0, timer_retries = 0;
-      for (const auto& c : stats.connections) {
+      for (const auto& c : r.stats.connections) {
         seq_naks += c.qp.seq_naks_sent;
         timer_retries += c.qp.transport_retries;
       }
       t.add(std::string(flowctl::to_string(scheme)), loss * 100.0,
-            static_cast<double>(window) * reps / sim::to_s(elapsed) / 1e6,
-            stats.fabric.lost_packets, stats.total_retransmitted_messages(),
+            static_cast<double>(window) * reps / sim::to_s(r.elapsed) / 1e6,
+            r.stats.fabric.lost_packets, r.stats.total_retransmitted_messages(),
             seq_naks, timer_retries);
     }
   }

@@ -24,11 +24,22 @@ int main(int argc, char** argv) {
 
   std::printf("# Table 1: explicit credit messages, static scheme, "
               "prepost=100, threshold=%d\n", threshold);
-  util::Table t({"app", "ecm_msgs", "total_msgs", "ecm_%", "avg_ecm_per_conn"});
+  // One job per app; snapshots come back in app order and are persisted
+  // from the main thread so METRICS_tab1_*.json writes never race.
+  const exp::SweepRunner runner = sweep_runner(opts);
+  std::vector<std::function<nas::KernelResult()>> cells;
   for (auto app : nas::kAllApps) {
     auto cfg = base_config(flowctl::Scheme::user_static, 100, 0);
     cfg.flow.ecm_threshold = threshold;
-    const auto r = nas::run_app(app, cfg, params);
+    quiet_if_parallel(cfg, runner);
+    cells.push_back([app, cfg, params] { return nas::run_app(app, cfg, params); });
+  }
+  const auto results = runner.run<nas::KernelResult>(cells);
+
+  util::Table t({"app", "ecm_msgs", "total_msgs", "ecm_%", "avg_ecm_per_conn"});
+  std::size_t idx = 0;
+  for (auto app : nas::kAllApps) {
+    const auto& r = results[idx++];
     const obs::Snapshot& m = r.metrics;
     write_metrics("tab1_" + std::string(nas::to_string(app)), m);
 

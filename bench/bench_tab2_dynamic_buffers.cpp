@@ -21,11 +21,20 @@ int main(int argc, char** argv) {
 
   std::printf("# Table 2: max posted buffers per connection, dynamic scheme "
               "(start=%d, linear step=%d)\n", start, step);
-  util::Table t({"app", "max_posted_buffers", "growth_events", "verified"});
+  const exp::SweepRunner runner = sweep_runner(opts);
+  std::vector<std::function<nas::KernelResult()>> cells;
   for (auto app : nas::kAllApps) {
     auto cfg = base_config(flowctl::Scheme::user_dynamic, start, 0);
     cfg.flow.growth_step = step;
-    const auto r = nas::run_app(app, cfg, params);
+    quiet_if_parallel(cfg, runner);
+    cells.push_back([app, cfg, params] { return nas::run_app(app, cfg, params); });
+  }
+  const auto results = runner.run<nas::KernelResult>(cells);
+
+  util::Table t({"app", "max_posted_buffers", "growth_events", "verified"});
+  std::size_t idx = 0;
+  for (auto app : nas::kAllApps) {
+    const auto& r = results[idx++];
     std::uint64_t growth = 0;
     for (const auto& c : r.stats.connections) growth += c.flow.growth_events;
     t.add(std::string(nas::to_string(app)), r.stats.max_posted_buffers(), growth,

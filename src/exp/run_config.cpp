@@ -1,0 +1,49 @@
+#include "exp/run_config.hpp"
+
+#include <cstdlib>
+
+namespace mvflow::exp {
+
+namespace {
+
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+std::size_t env_capacity(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+RunConfig RunConfig::from_env() {
+  RunConfig cfg;
+  cfg.metrics_path = env_or_empty("MVFLOW_METRICS");
+  cfg.trace_path = env_or_empty("MVFLOW_TRACE");
+  cfg.trace_csv_path = env_or_empty("MVFLOW_TRACE_CSV");
+  cfg.trace_capacity = env_capacity("MVFLOW_TRACE_CAPACITY");
+  return cfg;
+}
+
+const RunConfig& RunConfig::process() {
+  // Thread-safe one-time capture (magic static): the first World or runner
+  // to ask pins the snapshot for the process lifetime.
+  static const RunConfig snapshot = from_env();
+  return snapshot;
+}
+
+RunConfig RunConfig::quiet() const {
+  RunConfig cfg = *this;
+  cfg.metrics_path.clear();
+  cfg.trace_path.clear();
+  cfg.trace_csv_path.clear();
+  return cfg;
+}
+
+}  // namespace mvflow::exp

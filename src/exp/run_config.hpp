@@ -1,0 +1,51 @@
+// Experiment-run configuration (DESIGN.md §12).
+//
+// Everything a single simulation used to read from the environment at
+// arbitrary points (MVFLOW_LOG, MVFLOW_METRICS, MVFLOW_TRACE,
+// MVFLOW_TRACE_CSV, MVFLOW_TRACE_CAPACITY) is snapshotted here *once* and
+// passed explicitly to each World. Two reasons:
+//
+//  1. Concurrency: getenv() racing against setenv() is undefined, and two
+//     parallel worlds honouring $MVFLOW_METRICS would clobber one file.
+//     With an explicit RunConfig the sweep runner hands every job a config
+//     it controls (the parallel path hands out quiet() configs).
+//  2. Reproducibility: a job's behaviour is a function of its config
+//     struct, not of ambient process state that may drift mid-sweep.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mvflow::exp {
+
+struct RunConfig {
+  /// Output paths for the end-of-run exports; empty = don't export.
+  std::string metrics_path;    ///< was $MVFLOW_METRICS
+  std::string trace_path;      ///< was $MVFLOW_TRACE
+  std::string trace_csv_path;  ///< was $MVFLOW_TRACE_CSV
+
+  /// Flight-recorder ring size when tracing is on (was
+  /// $MVFLOW_TRACE_CAPACITY; 0 falls back to the recorder default).
+  std::size_t trace_capacity = 0;
+
+  /// Tracing is armed when any trace export is requested.
+  bool trace_enabled() const noexcept {
+    return !trace_path.empty() || !trace_csv_path.empty();
+  }
+
+  /// Read the MVFLOW_* variables right now (no caching).
+  static RunConfig from_env();
+
+  /// The one-time process snapshot: captured on first call and immutable
+  /// afterwards, so every serial World sees the same configuration no
+  /// matter when it starts. This is the default for WorldConfig::run.
+  static const RunConfig& process();
+
+  /// Copy of this config with every export path cleared. The sweep runner
+  /// gives parallel jobs quiet configs: N concurrent worlds writing one
+  /// $MVFLOW_METRICS path would race, and artifacts must not depend on
+  /// which job finished last.
+  RunConfig quiet() const;
+};
+
+}  // namespace mvflow::exp

@@ -1,0 +1,68 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mvflow::exp {
+
+int SweepRunner::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+SweepRunner::SweepRunner(int n_threads)
+    : threads_(n_threads <= 0 ? hardware_threads() : n_threads) {}
+
+void SweepRunner::execute(const std::vector<std::function<void()>>& tasks) const {
+  if (tasks.empty()) return;
+
+  // Serial path: inline, in order, exceptions propagate immediately — the
+  // exact pre-runner behaviour `-j 1` promises.
+  if (threads_ == 1 || tasks.size() == 1) {
+    for (const auto& t : tasks) t();
+    return;
+  }
+
+  // Parallel path: workers claim jobs through an atomic cursor. Job index
+  // determines where a result lands, never which worker computed it, so
+  // scheduling cannot reorder observable output.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::size_t err_index = tasks.size();
+  std::exception_ptr err;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        tasks[i]();
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(err_mu);
+        // Keep the lowest-indexed failure so the rethrow choice is as
+        // close to the serial path's as concurrency allows.
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t width =
+      std::min(static_cast<std::size_t>(threads_), tasks.size());
+  std::vector<std::thread> pool;
+  pool.reserve(width);
+  for (std::size_t w = 0; w < width; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mvflow::exp

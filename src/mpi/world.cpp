@@ -1,7 +1,6 @@
 #include "mpi/world.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "mpi/communicator.hpp"
 #include "obs/recorder.hpp"
@@ -10,20 +9,6 @@
 #include "util/log.hpp"
 
 namespace mvflow::mpi {
-
-namespace {
-
-/// $MVFLOW_TRACE_CAPACITY as a ring size; 0/garbage falls back to default.
-std::size_t trace_capacity_from_env() {
-  const char* s = std::getenv("MVFLOW_TRACE_CAPACITY");
-  if (s == nullptr || *s == '\0') return obs::FlightRecorder::kDefaultCapacity;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || v == 0) return obs::FlightRecorder::kDefaultCapacity;
-  return static_cast<std::size_t>(v);
-}
-
-}  // namespace
 
 std::uint64_t WorldStats::total_ecm() const {
   std::uint64_t n = 0;
@@ -64,10 +49,18 @@ int WorldStats::max_posted_buffers() const {
 World::World(WorldConfig cfg) : cfg_(cfg) {
   util::require(cfg_.num_ranks >= 1, "need at least one rank");
 
-  // $MVFLOW_TRACE turns the flight recorder on for this World's run; the
-  // ring is cleared so the exported trace covers exactly this simulation.
-  if (std::getenv("MVFLOW_TRACE") != nullptr) {
-    obs::recorder().enable(trace_capacity_from_env());
+  // This world's recorder becomes the constructing thread's current one —
+  // instrumented layers reach it through the thread-local obs::recorder()
+  // without knowing which world they run in. The previous binding is
+  // restored at destruction, so worlds nest on a thread and concurrent
+  // worlds on different threads never see each other's rings.
+  prev_recorder_ = obs::bind_recorder(&recorder_);
+
+  // A requested trace export arms the recorder for this world's lifetime.
+  if (cfg_.run.trace_enabled()) {
+    recorder_.enable(cfg_.run.trace_capacity != 0
+                         ? cfg_.run.trace_capacity
+                         : obs::FlightRecorder::kDefaultCapacity);
   }
 
   fabric_ = std::make_unique<ib::Fabric>(engine_, cfg_.fabric, cfg_.num_ranks);
@@ -81,8 +74,8 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   metrics_.add_source("msg_pool.", [this](const obs::MetricsRegistry::EmitFn& e) {
     fabric_->msg_pool_stats().visit(e);
   });
-  metrics_.add_source("latency.", [](const obs::MetricsRegistry::EmitFn& e) {
-    obs::recorder().latency().visit(e);
+  metrics_.add_source("latency.", [this](const obs::MetricsRegistry::EmitFn& e) {
+    recorder_.latency().visit(e);
   });
 
   devices_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
@@ -100,7 +93,7 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   }
 }
 
-World::~World() = default;
+World::~World() { obs::bind_recorder(prev_recorder_); }
 
 void World::wire_pair(Rank a, Rank b) {
   ib::QueuePair& qa = device(a).create_endpoint(b);
@@ -146,6 +139,11 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
                 "one body per rank required");
   ran_ = true;
 
+  // The engine dispatches on whichever thread called run(), which on a
+  // sweep pool need not be the constructing thread — rebind for the
+  // duration so engine-context instrumentation lands in this world's ring.
+  obs::RecorderBinding engine_thread_binding(&recorder_);
+
   std::vector<sim::TimePoint> finish(static_cast<std::size_t>(cfg_.num_ranks));
   std::vector<std::unique_ptr<sim::Process>> procs;
   procs.reserve(bodies.size());
@@ -153,6 +151,10 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
     const auto& body = bodies[static_cast<std::size_t>(r)];
     procs.push_back(std::make_unique<sim::Process>(
         engine_, "rank" + std::to_string(r), [this, r, &body, &finish](sim::Process& p) {
+          // Rank bodies run on their own OS thread; point that thread's
+          // recorder binding at this world (the thread is born and dies
+          // inside this run, so nothing needs restoring).
+          obs::bind_recorder(&recorder_);
           Device& dev = device(r);
           dev.bind_process(p);
           Communicator comm(*this, dev, p);
@@ -188,21 +190,22 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
   elapsed_ = sim::Duration::zero();
   for (auto t : finish) elapsed_ = std::max(elapsed_, t);
 
-  // Environment-driven exports: a metrics snapshot, the Chrome trace, and
-  // the credit/backlog CSV, each gated on its own variable.
-  metrics_.write_env_json();
-  if (const char* path = std::getenv("MVFLOW_TRACE");
-      path != nullptr && *path != '\0') {
-    if (!obs::recorder().export_chrome_trace(path)) {
+  // Config-driven exports (the RunConfig snapshot of MVFLOW_METRICS /
+  // MVFLOW_TRACE / MVFLOW_TRACE_CSV): a metrics snapshot, the Chrome
+  // trace, and the credit/backlog CSV, each gated on its own path.
+  if (!cfg_.run.metrics_path.empty()) {
+    metrics_.snapshot().write_json(cfg_.run.metrics_path);
+  }
+  if (!cfg_.run.trace_path.empty()) {
+    if (!recorder_.export_chrome_trace(cfg_.run.trace_path)) {
       util::Logger::write(util::LogLevel::error, "obs",
-                          std::string("cannot write trace file ") + path);
+                          "cannot write trace file " + cfg_.run.trace_path);
     }
   }
-  if (const char* path = std::getenv("MVFLOW_TRACE_CSV");
-      path != nullptr && *path != '\0') {
-    if (!obs::recorder().export_credit_csv(path)) {
+  if (!cfg_.run.trace_csv_path.empty()) {
+    if (!recorder_.export_credit_csv(cfg_.run.trace_csv_path)) {
       util::Logger::write(util::LogLevel::error, "obs",
-                          std::string("cannot write credit CSV ") + path);
+                          "cannot write credit CSV " + cfg_.run.trace_csv_path);
     }
   }
   return elapsed_;

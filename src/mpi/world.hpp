@@ -10,12 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "exp/run_config.hpp"
 #include "flowctl/flowctl.hpp"
 #include "ib/config.hpp"
 #include "ib/fabric.hpp"
 #include "mpi/config.hpp"
 #include "mpi/device.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
 namespace mvflow::mpi {
@@ -34,6 +36,12 @@ struct WorldConfig {
   /// Upper bound on simulated time; exceeding it is reported as a deadlock
   /// (protects against infinite hardware retry loops in the modeled system).
   sim::Duration max_sim_time = sim::seconds(30);
+
+  /// Tracing/metrics-export configuration. Defaults to the one-time
+  /// process snapshot of the MVFLOW_* environment; sweep jobs running on
+  /// the parallel runner get an explicit (quiet) config instead, so
+  /// concurrent worlds never race on env-driven output files.
+  exp::RunConfig run = exp::RunConfig::process();
 };
 
 /// Thrown when the simulation drains with ranks still blocked in MPI calls.
@@ -105,6 +113,13 @@ class World {
   /// the whole stack's counters as a flat document (DESIGN.md §11).
   obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  /// This world's flight recorder (DESIGN.md §11-12). World-owned so
+  /// concurrent worlds trace independently; the constructor binds it as the
+  /// current thread's recorder and run() rebinds it on the running thread
+  /// and every rank's process thread. Armed automatically when the run
+  /// config requests a trace export; tests may enable() it directly.
+  obs::FlightRecorder& recorder() noexcept { return recorder_; }
+
  private:
   WorldConfig cfg_;
   sim::Engine engine_;
@@ -112,6 +127,10 @@ class World {
   // objects, and member order guarantees the registry outlives none of them
   // while they can still be snapshotted.
   obs::MetricsRegistry metrics_;
+  obs::FlightRecorder recorder_;
+  /// Recorder bound on the constructing thread before this world; restored
+  /// by the destructor (worlds nest strictly on a given thread).
+  obs::FlightRecorder* prev_recorder_ = nullptr;
   std::unique_ptr<ib::Fabric> fabric_;
   std::vector<std::unique_ptr<Device>> devices_;
   sim::Duration elapsed_{0};

@@ -156,10 +156,4 @@ Snapshot MetricsRegistry::snapshot() const {
   return out;
 }
 
-bool MetricsRegistry::write_env_json() const {
-  const char* path = std::getenv("MVFLOW_METRICS");
-  if (path == nullptr || *path == '\0') return false;
-  return snapshot().write_json(path);
-}
-
 }  // namespace mvflow::obs

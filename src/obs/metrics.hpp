@@ -102,12 +102,10 @@ class MetricsRegistry {
   void remove_source(std::uint64_t id);
   std::size_t source_count() const noexcept { return sources_.size(); }
 
-  /// Flatten every instrument and source into one capture.
+  /// Flatten every instrument and source into one capture. ($MVFLOW_METRICS
+  /// export goes through exp::RunConfig now — the registry itself never
+  /// reads the environment.)
   Snapshot snapshot() const;
-
-  /// Write snapshot() to the path in $MVFLOW_METRICS, if set. Returns
-  /// whether a file was written.
-  bool write_env_json() const;
 
  private:
   template <typename T>

@@ -230,9 +230,29 @@ bool FlightRecorder::export_credit_csv(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
-FlightRecorder& recorder() noexcept {
+namespace detail {
+
+thread_local constinit FlightRecorder* t_recorder = nullptr;
+
+/// Shared object for threads no simulation has claimed. Construct-once,
+/// never enabled afterwards: concurrent unbound threads only ever read
+/// `enabled_` (false), so sharing it is race-free.
+FlightRecorder& fallback_recorder() noexcept {
   static FlightRecorder instance;
   return instance;
+}
+
+}  // namespace detail
+
+FlightRecorder* bind_recorder(FlightRecorder* r) noexcept {
+  FlightRecorder* prev = detail::t_recorder;
+  detail::t_recorder = r;
+  return prev;
+}
+
+bool recorder_is_fallback() noexcept {
+  return detail::t_recorder == nullptr ||
+         detail::t_recorder == &detail::fallback_recorder();
 }
 
 }  // namespace mvflow::obs

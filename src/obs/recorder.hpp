@@ -15,9 +15,15 @@
 // allocates while recording — the ring is sized at enable() time and
 // overwrites its oldest events at capacity (`dropped()` counts evictions).
 //
-// The process-global instance (`obs::recorder()`) is what the instrumented
-// layers use; World enables it when $MVFLOW_TRACE is set and exports on
-// run completion. Tests may instantiate private FlightRecorders freely.
+// Ownership and threading: every recorder is owned by whoever creates it —
+// mpi::World owns one per simulation — and `obs::recorder()` resolves to the
+// recorder *bound to the current thread* (a thread-local pointer, so
+// independent Worlds on a thread pool record into their own rings with no
+// shared mutable state). World binds its recorder on the constructing
+// thread and on each rank's process thread; a thread with no binding sees a
+// shared, permanently-disabled fallback, which keeps the instrumentation
+// fast path a single branch with no null check. Tests may instantiate and
+// bind private FlightRecorders freely (RecorderBinding below).
 #pragma once
 
 #include <cstddef>
@@ -152,7 +158,51 @@ class FlightRecorder {
   LatencyBreakdown latency_;
 };
 
-/// The process-global recorder the instrumented layers consult.
-FlightRecorder& recorder() noexcept;
+namespace detail {
+/// The current thread's recorder; nullptr = unbound. `constinit` matters:
+/// a constant-initialized thread_local compiles to a plain TLS load at
+/// every instrumentation site, where a dynamic initializer would route
+/// every access through the TLS init-guard wrapper — measurable across
+/// the simulation hot path. Internal — bind through
+/// bind_recorder()/RecorderBinding.
+extern thread_local constinit FlightRecorder* t_recorder;
+/// Shared recorder that is never enabled; what unbound threads observe.
+FlightRecorder& fallback_recorder() noexcept;
+}  // namespace detail
+
+/// The recorder bound to the current thread (a world-owned recorder while a
+/// simulation is active, a shared never-enabled fallback otherwise). This
+/// is what the instrumented layers consult; during a simulation — the only
+/// time the fast path matters — the branch below is perfectly predicted
+/// non-null.
+inline FlightRecorder& recorder() noexcept {
+  FlightRecorder* r = detail::t_recorder;
+  return r != nullptr ? *r : detail::fallback_recorder();
+}
+
+/// Bind `r` as this thread's recorder and return the previous binding
+/// (pass the returned pointer back to restore it; nullptr rebinds the
+/// disabled fallback). `r` must outlive the binding.
+FlightRecorder* bind_recorder(FlightRecorder* r) noexcept;
+
+/// True when the current thread's binding is the shared disabled fallback
+/// (i.e. no simulation has bound a recorder here).
+bool recorder_is_fallback() noexcept;
+
+/// RAII binding for the current thread; restores the previous recorder on
+/// destruction. Used by tests and by World on the thread that runs the
+/// engine. (Rank process threads bind without restoring — each such thread
+/// is born and dies inside one simulation.)
+class RecorderBinding {
+ public:
+  explicit RecorderBinding(FlightRecorder* r) noexcept
+      : prev_(bind_recorder(r)) {}
+  ~RecorderBinding() { bind_recorder(prev_); }
+  RecorderBinding(const RecorderBinding&) = delete;
+  RecorderBinding& operator=(const RecorderBinding&) = delete;
+
+ private:
+  FlightRecorder* prev_;
+};
 
 }  // namespace mvflow::obs

@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <mutex>
 
 #include "sim/process.hpp"
 #include "util/check.hpp"
@@ -13,22 +16,44 @@ namespace {
 // Registry of constructed-and-not-yet-destroyed engines. EventHandle holds
 // a raw Engine* (no refcounting on the hot path); checking membership here
 // before dereferencing makes a handle that outlives its engine a safe
-// no-op regardless of destruction order. The simulation is single-threaded,
-// so no locking; the list holds one entry per live engine (typically one),
-// so the linear scan is trivial. Address reuse by a *new* engine at the
-// same address is additionally guarded by the slot bounds check and the
-// generation stamp in cancel()/handle_valid().
-std::vector<Engine*>& live_engines() {
-  static std::vector<Engine*> v;
-  return v;
+// no-op regardless of destruction order. Each engine is single-threaded,
+// but the experiment layer runs *many* engines on a thread pool, so the
+// registry is shared across threads: it is sharded by engine address, one
+// mutex + tiny vector per shard. A thread touches only its engine's shard,
+// so concurrent worlds contend only on the (rare) hash collisions, and the
+// linear scan stays over the handful of engines that map to one shard.
+// Address reuse by a *new* engine at the same address is additionally
+// guarded by the slot bounds check and the generation stamp in
+// cancel()/handle_valid().
+struct RegistryShard {
+  std::mutex mu;
+  std::vector<Engine*> engines;
+};
+
+constexpr std::size_t kRegistryShards = 16;
+
+RegistryShard& shard_for(const Engine* e) noexcept {
+  // Heap-allocated and intentionally leaked: EventHandles held by
+  // static-lifetime objects may call is_live() during process teardown,
+  // after function-local statics would have been destroyed.
+  static auto* shards = new std::array<RegistryShard, kRegistryShards>();
+  // Engines are heap/stack objects; drop the alignment bits before mixing.
+  const auto p = reinterpret_cast<std::uintptr_t>(e) >> 6;
+  return (*shards)[(p ^ (p >> 7)) % kRegistryShards];
 }
 
 }  // namespace
 
 Engine::Engine() {
-  live_engines().push_back(this);
+  {
+    RegistryShard& s = shard_for(this);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.engines.push_back(this);
+  }
   // Give the logger simulated time while this engine exists, so MVFLOW_LOG
-  // lines correlate with trace/metrics timestamps.
+  // lines correlate with trace/metrics timestamps. (The time-source stack
+  // is thread-local: this registers on the constructing thread, and each
+  // Process re-registers on its own rank thread.)
   util::Logger::push_time_source(
       [](const void* ctx) {
         return static_cast<long long>(
@@ -39,13 +64,16 @@ Engine::Engine() {
 
 Engine::~Engine() {
   util::Logger::pop_time_source(this);
-  auto& v = live_engines();
-  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+  RegistryShard& s = shard_for(this);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.engines.erase(std::remove(s.engines.begin(), s.engines.end(), this),
+                  s.engines.end());
 }
 
 bool Engine::is_live(const Engine* e) noexcept {
-  const auto& v = live_engines();
-  return std::find(v.begin(), v.end(), e) != v.end();
+  RegistryShard& s = shard_for(e);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return std::find(s.engines.begin(), s.engines.end(), e) != s.engines.end();
 }
 
 std::uint32_t Engine::acquire_slot() {

@@ -90,9 +90,10 @@ class Engine {
   ~Engine();
 
   /// True while `e` is a constructed, not-yet-destroyed Engine. Backed by a
-  /// process-wide registry (the simulation is single-threaded); EventHandle
-  /// checks it before touching its engine so stale handles are safe no
-  /// matter the destruction order.
+  /// process-wide registry sharded by engine address (mutex per shard), so
+  /// concurrent engines on an experiment thread pool register, die, and
+  /// check liveness without racing; EventHandle checks it before touching
+  /// its engine so stale handles are safe no matter the destruction order.
   static bool is_live(const Engine* e) noexcept;
 
   TimePoint now() const noexcept { return now_; }

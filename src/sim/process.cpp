@@ -1,6 +1,7 @@
 #include "sim/process.hpp"
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace mvflow::sim {
 
@@ -23,6 +24,16 @@ Process::~Process() {
 }
 
 void Process::thread_main(Body body) {
+  // The logger's time-source stack is thread-local; give this rank thread
+  // its engine's simulated clock so body-side MVFLOW_LOG lines carry the
+  // same timestamps as engine-side ones. Keyed on `this` (not the engine)
+  // so nested pushes by the body unwind independently.
+  util::Logger::push_time_source(
+      [](const void* ctx) {
+        return static_cast<long long>(
+            static_cast<const Process*>(ctx)->engine_.now().count());
+      },
+      this);
   go_.acquire();  // wait for the first hand-off
   if (!kill_requested_) {
     started_ = true;
@@ -34,6 +45,7 @@ void Process::thread_main(Body body) {
       engine_.record_error(std::current_exception());
     }
   }
+  util::Logger::pop_time_source(this);
   finished_ = true;
   done_.release();
 }

@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,8 +32,10 @@ const char* level_name(LogLevel lvl) {
   }
 }
 
-LogLevel& level_storage() {
-  static LogLevel lvl = parse_level(std::getenv("MVFLOW_LOG"));
+// Atomic because the level is read from every thread running a simulation
+// while tests (or a main thread configuring a sweep) may set it.
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> lvl = parse_level(std::getenv("MVFLOW_LOG"));
   return lvl;
 }
 
@@ -41,8 +44,13 @@ struct TimeSource {
   const void* ctx = nullptr;
 };
 
+// Thread-local: each experiment thread (and each simulated rank's process
+// thread) sees only the time sources pushed on that thread, so concurrent
+// engines never observe each other's clocks. A sim::Engine registers on its
+// constructing thread and sim::Process re-registers its engine on the
+// process thread it spawns.
 std::vector<TimeSource>& time_sources() {
-  static std::vector<TimeSource> sources;
+  thread_local std::vector<TimeSource> sources;
   return sources;
 }
 
@@ -58,24 +66,42 @@ void format_ns(char* buf, std::size_t n, long long ns) {
 
 }  // namespace
 
-LogLevel Logger::level() { return level_storage(); }
+LogLevel Logger::level() {
+  return level_storage().load(std::memory_order_relaxed);
+}
 
-void Logger::set_level(LogLevel lvl) { level_storage() = lvl; }
+void Logger::set_level(LogLevel lvl) {
+  level_storage().store(lvl, std::memory_order_relaxed);
+}
 
 void Logger::write(LogLevel lvl, std::string_view component,
                    std::string_view message) {
+  // Format the whole line first and emit it with a single stdio call:
+  // stdio locks the stream per call, so concurrent writers interleave only
+  // at line granularity, never mid-line.
+  char line[1024];
+  int n;
   const auto& sources = time_sources();
   if (!sources.empty()) {
     char ts[32];
     format_ns(ts, sizeof ts, sources.back().fn(sources.back().ctx));
-    std::fprintf(stderr, "[%s] [%s] %.*s: %.*s\n", level_name(lvl), ts,
-                 static_cast<int>(component.size()), component.data(),
-                 static_cast<int>(message.size()), message.data());
-    return;
+    n = std::snprintf(line, sizeof line, "[%s] [%s] %.*s: %.*s\n",
+                      level_name(lvl), ts,
+                      static_cast<int>(component.size()), component.data(),
+                      static_cast<int>(message.size()), message.data());
+  } else {
+    n = std::snprintf(line, sizeof line, "[%s] %.*s: %.*s\n", level_name(lvl),
+                      static_cast<int>(component.size()), component.data(),
+                      static_cast<int>(message.size()), message.data());
   }
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (n <= 0) return;
+  if (static_cast<std::size_t>(n) >= sizeof line) {
+    // Truncated: keep the line shape (terminate with a newline) so the
+    // atomicity guarantee holds even for oversized messages.
+    line[sizeof line - 2] = '\n';
+    n = static_cast<int>(sizeof line) - 1;
+  }
+  std::fwrite(line, 1, static_cast<std::size_t>(n), stderr);
 }
 
 void Logger::push_time_source(TimeSourceFn fn, const void* ctx) {

@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <string_view>
 
@@ -15,6 +16,21 @@ Options::Options(int argc, const char* const* argv) {
         kv_.emplace(std::string(arg), "true");
       } else {
         kv_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      }
+    } else if (arg.size() >= 2 && arg[0] == '-' &&
+               std::isalpha(static_cast<unsigned char>(arg[1]))) {
+      // Short option: -j4, -j=4, -j 4, or bare -j ("true"). The key is the
+      // single letter; an alpha check keeps negative-number positionals
+      // (e.g. "-5") out of this branch.
+      const std::string key(1, arg[1]);
+      std::string_view rest = arg.substr(2);
+      if (!rest.empty() && rest.front() == '=') rest.remove_prefix(1);
+      if (!rest.empty()) {
+        kv_.emplace(key, std::string(rest));
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        kv_.emplace(key, argv[++i]);
+      } else {
+        kv_.emplace(key, "true");
       }
     } else {
       positional_.emplace_back(arg);

@@ -10,8 +10,9 @@
 
 namespace mvflow::util {
 
-/// Parses argv of the form: prog --key=value --flag positional ...
-/// A bare "--flag" is stored with value "true".
+/// Parses argv of the form: prog --key=value --flag -x4 -x val positional ...
+/// A bare "--flag" (or "-x" with no value) is stored with value "true";
+/// short options use the single letter as the key ("-j8" == "--j=8").
 class Options {
  public:
   Options(int argc, const char* const* argv);

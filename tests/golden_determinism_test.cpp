@@ -49,3 +49,37 @@ TEST(GoldenDeterminism, Fig3BandwidthTableBitIdentical) {
           .to_string();
   EXPECT_EQ(fnv1a(text), kFig3GoldenHash) << "fig3 table changed:\n" << text;
 }
+
+// The parallel sweep runner must not merely agree with itself across thread
+// counts — it must reproduce the *serial golden hashes* above. Each World is
+// single-threaded and fully self-contained, so spreading the independent
+// cells across 4 or 8 workers cannot change a single byte of any table.
+TEST(GoldenDeterminism, Fig2TableBitIdenticalAtJobs4) {
+  const std::string text =
+      mvflow::bench::build_fig2_table(/*iters=*/200, nullptr, /*jobs=*/4)
+          .to_string();
+  EXPECT_EQ(fnv1a(text), kFig2GoldenHash) << "fig2 -j4 diverged:\n" << text;
+}
+
+TEST(GoldenDeterminism, Fig2TableBitIdenticalAtJobs8) {
+  const std::string text =
+      mvflow::bench::build_fig2_table(/*iters=*/200, nullptr, /*jobs=*/8)
+          .to_string();
+  EXPECT_EQ(fnv1a(text), kFig2GoldenHash) << "fig2 -j8 diverged:\n" << text;
+}
+
+TEST(GoldenDeterminism, Fig3TableBitIdenticalAtJobs4) {
+  const std::string text =
+      mvflow::bench::build_bw_table(/*msg_bytes=*/4, /*prepost=*/100,
+                                    /*blocking=*/true, nullptr, /*jobs=*/4)
+          .to_string();
+  EXPECT_EQ(fnv1a(text), kFig3GoldenHash) << "fig3 -j4 diverged:\n" << text;
+}
+
+TEST(GoldenDeterminism, Fig3TableBitIdenticalAtJobs8) {
+  const std::string text =
+      mvflow::bench::build_bw_table(/*msg_bytes=*/4, /*prepost=*/100,
+                                    /*blocking=*/true, nullptr, /*jobs=*/8)
+          .to_string();
+  EXPECT_EQ(fnv1a(text), kFig3GoldenHash) << "fig3 -j8 diverged:\n" << text;
+}

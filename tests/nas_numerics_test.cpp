@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <vector>
 
+#include "exp/runner.hpp"
 #include "nas/kernel.hpp"
 
 using namespace mvflow;
@@ -18,6 +21,7 @@ KernelResult quick(App app, flowctl::Scheme scheme, int prepost, int iters = 2,
   cfg.num_ranks = 0;
   cfg.flow.scheme = scheme;
   cfg.flow.prepost = prepost;
+  cfg.run = cfg.run.quiet();  // jobs may run concurrently: no export races
   NasParams p;
   p.iterations = iters;
   p.seed = seed;
@@ -28,11 +32,25 @@ KernelResult quick(App app, flowctl::Scheme scheme, int prepost, int iters = 2,
 
 TEST(NasNumerics, MetricsIdenticalAcrossSchemes) {
   // The metric is a pure function of the math; buffers and schemes must
-  // not leak into it.
+  // not leak into it. This is the suite's heaviest fixture (7 apps x 3
+  // scheme configs), so the 21 independent worlds run on the sweep
+  // runner; assertions happen on the main thread, in app order.
+  std::vector<std::function<KernelResult()>> jobs;
   for (App app : kAllApps) {
-    const auto a = quick(app, flowctl::Scheme::hardware, 100);
-    const auto b = quick(app, flowctl::Scheme::user_static, 4);
-    const auto c = quick(app, flowctl::Scheme::user_dynamic, 1);
+    jobs.push_back([app] { return quick(app, flowctl::Scheme::hardware, 100); });
+    jobs.push_back([app] { return quick(app, flowctl::Scheme::user_static, 4); });
+    jobs.push_back(
+        [app] { return quick(app, flowctl::Scheme::user_dynamic, 1); });
+  }
+  const exp::SweepRunner runner;  // hardware concurrency
+  const auto results = runner.run<KernelResult>(jobs);
+
+  std::size_t i = 0;
+  for (App app : kAllApps) {
+    const auto& a = results[i];
+    const auto& b = results[i + 1];
+    const auto& c = results[i + 2];
+    i += 3;
     EXPECT_EQ(a.metric, b.metric) << to_string(app);
     EXPECT_EQ(a.metric, c.metric) << to_string(app);
     EXPECT_TRUE(a.verified && b.verified && c.verified) << to_string(app);

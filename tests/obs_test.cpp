@@ -21,14 +21,10 @@ namespace sim = mvflow::sim;
 
 namespace {
 
-/// The global recorder is process-wide state; every test that enables it
-/// must restore "off" so unrelated tests stay uninstrumented.
-struct RecorderGuard {
-  ~RecorderGuard() {
-    obs::recorder().disable();
-    obs::recorder().clear();
-  }
-};
+// The flight recorder is world-owned: tests enable tracing on a World's
+// own recorder (World::recorder()) before run() and read it back after.
+// Nothing here touches process-global state, so fixtures cannot leak
+// instrumentation into each other.
 
 mpi::WorldConfig two_rank_config(int prepost) {
   mpi::WorldConfig cfg;
@@ -182,10 +178,8 @@ TEST(FlightRecorder, CsvCarriesLastKnownValues) {
 // ------------------------------------------------------- end-to-end trace --
 
 TEST(ChromeTrace, PingPongProducesWellFormedTrace) {
-  RecorderGuard guard;
-  obs::recorder().enable(1u << 16);
-
   mpi::World world(two_rank_config(/*prepost=*/16));
+  world.recorder().enable(1u << 16);
   world.run([](mpi::Communicator& comm) {
     std::byte buf[256];
     std::memset(buf, 0, sizeof buf);
@@ -200,9 +194,10 @@ TEST(ChromeTrace, PingPongProducesWellFormedTrace) {
     }
   });
 
-  ASSERT_GT(obs::recorder().size(), 0u);
+  const obs::FlightRecorder& rec = world.recorder();
+  ASSERT_GT(rec.size(), 0u);
   std::ostringstream os;
-  obs::recorder().export_chrome_trace(os);
+  rec.export_chrome_trace(os);
   const auto doc = obs::json::parse(os.str());
   ASSERT_TRUE(doc.has_value()) << "trace must be valid JSON";
   const obs::json::Value* events = doc->find("traceEvents");
@@ -232,36 +227,59 @@ TEST(ChromeTrace, PingPongProducesWellFormedTrace) {
   EXPECT_GT(instants, 0u);
 
   // Both ranks posted, transmitted, delivered and retired messages.
-  EXPECT_GT(obs::recorder().count(obs::Ev::msg_posted), 0u);
-  EXPECT_GT(obs::recorder().count(obs::Ev::msg_on_wire), 0u);
-  EXPECT_GT(obs::recorder().count(obs::Ev::msg_delivered), 0u);
-  EXPECT_GT(obs::recorder().count(obs::Ev::msg_acked), 0u);
-  EXPECT_GT(obs::recorder().latency().post_to_wire.count(), 0u);
-  EXPECT_GT(obs::recorder().latency().wire_to_ack.count(), 0u);
+  EXPECT_GT(rec.count(obs::Ev::msg_posted), 0u);
+  EXPECT_GT(rec.count(obs::Ev::msg_on_wire), 0u);
+  EXPECT_GT(rec.count(obs::Ev::msg_delivered), 0u);
+  EXPECT_GT(rec.count(obs::Ev::msg_acked), 0u);
+  EXPECT_GT(rec.latency().post_to_wire.count(), 0u);
+  EXPECT_GT(rec.latency().wire_to_ack.count(), 0u);
 }
+
+namespace {
+
+/// Drive one NAS LU run on a caller-owned World so the test can read the
+/// World's recorder afterwards (run_app hides its World, and with it the
+/// trace). Mirrors run_app's harness for the one app these tests use.
+struct TracedLuRun {
+  nas::AppOutcome outcome;
+  mpi::WorldStats stats;
+  obs::Snapshot metrics;
+};
+
+TracedLuRun run_lu_traced(mpi::World& world, const nas::NasParams& params) {
+  TracedLuRun r;
+  world.run([&](mpi::Communicator& comm) {
+    const nas::AppOutcome local = nas::run_lu(comm, params);
+    if (comm.rank() == 0) r.outcome = local;
+  });
+  r.stats = world.collect_stats();
+  r.metrics = world.metrics().snapshot();
+  return r;
+}
+
+}  // namespace
 
 TEST(ChromeTrace, LuEcmEventsMatchFlowCounters) {
   // ISSUE acceptance: on a NAS LU static-scheme run, the number of
   // ecm_sent instants in the exported trace equals the flowctl layer's
   // aggregate ecm_sent counter, and the metrics snapshot agrees.
-  RecorderGuard guard;
-  obs::recorder().enable(1u << 20);
-
   nas::NasParams params;
   params.iterations = 2;
   auto cfg = two_rank_config(/*prepost=*/10);
-  cfg.num_ranks = 0;  // default_ranks(lu)
-  const nas::KernelResult r = nas::run_app(nas::App::lu, cfg, params);
-  ASSERT_TRUE(r.verified);
+  cfg.num_ranks = nas::default_ranks(nas::App::lu);
+  mpi::World world(cfg);
+  world.recorder().enable(1u << 20);
+  const TracedLuRun r = run_lu_traced(world, params);
+  ASSERT_TRUE(r.outcome.verified);
 
   const std::uint64_t flow_ecm = r.stats.total_ecm();
-  EXPECT_EQ(obs::recorder().count(obs::Ev::ecm_sent), flow_ecm);
+  EXPECT_EQ(world.recorder().count(obs::Ev::ecm_sent), flow_ecm);
   EXPECT_EQ(r.metrics.sum_suffix(".flow.ecm_sent"),
             static_cast<double>(flow_ecm));
 
   // And the exported trace carries exactly that many ecm_sent instants.
   std::ostringstream os;
-  obs::recorder().export_chrome_trace(os);
+  world.recorder().export_chrome_trace(os);
   const auto doc = obs::json::parse(os.str());
   ASSERT_TRUE(doc.has_value());
   const obs::json::Value* events = doc->find("traceEvents");
@@ -274,7 +292,7 @@ TEST(ChromeTrace, LuEcmEventsMatchFlowCounters) {
       ++ecm_instants;
   }
   EXPECT_EQ(ecm_instants, flow_ecm);
-  EXPECT_EQ(obs::recorder().dropped(), 0u) << "ring must not have wrapped";
+  EXPECT_EQ(world.recorder().dropped(), 0u) << "ring must not have wrapped";
 }
 
 TEST(CreditTimeSeries, BacklogEpisodesOnlyUnderSmallPools) {
@@ -285,25 +303,26 @@ TEST(CreditTimeSeries, BacklogEpisodesOnlyUnderSmallPools) {
   nas::NasParams params;
   params.iterations = 2;
 
-  RecorderGuard guard;
-  obs::recorder().enable(1u << 20);
   auto starved = two_rank_config(/*prepost=*/6);
-  starved.num_ranks = 0;
-  const nas::KernelResult small = nas::run_app(nas::App::lu, starved, params);
-  ASSERT_TRUE(small.verified);
-  EXPECT_GT(obs::recorder().count(obs::Ev::backlog_enter), 0u);
+  starved.num_ranks = nas::default_ranks(nas::App::lu);
+  mpi::World small_world(starved);
+  small_world.recorder().enable(1u << 20);
+  const TracedLuRun small = run_lu_traced(small_world, params);
+  ASSERT_TRUE(small.outcome.verified);
+  EXPECT_GT(small_world.recorder().count(obs::Ev::backlog_enter), 0u);
   std::ostringstream csv_small;
-  obs::recorder().export_credit_csv(csv_small);
+  small_world.recorder().export_credit_csv(csv_small);
   EXPECT_NE(csv_small.str().find("backlog_enter"), std::string::npos);
 
-  obs::recorder().enable(1u << 20);  // re-arm: clears the previous run
   auto roomy = two_rank_config(/*prepost=*/100);
-  roomy.num_ranks = 0;
-  const nas::KernelResult big = nas::run_app(nas::App::lu, roomy, params);
-  ASSERT_TRUE(big.verified);
-  EXPECT_EQ(obs::recorder().count(obs::Ev::backlog_enter), 0u);
+  roomy.num_ranks = nas::default_ranks(nas::App::lu);
+  mpi::World big_world(roomy);
+  big_world.recorder().enable(1u << 20);
+  const TracedLuRun big = run_lu_traced(big_world, params);
+  ASSERT_TRUE(big.outcome.verified);
+  EXPECT_EQ(big_world.recorder().count(obs::Ev::backlog_enter), 0u);
   std::ostringstream csv_big;
-  obs::recorder().export_credit_csv(csv_big);
+  big_world.recorder().export_credit_csv(csv_big);
   EXPECT_EQ(csv_big.str().find("backlog_enter"), std::string::npos);
 }
 

@@ -254,6 +254,27 @@ TEST(Options, ParsesKeyValueAndFlags) {
   EXPECT_EQ(o.positional()[0], "pos1");
 }
 
+TEST(Options, ParsesShortOptions) {
+  const char* argv[] = {"prog", "-j4", "-x=7", "-v", "-n", "9"};
+  mu::Options o(6, argv);
+  EXPECT_EQ(o.get_int("j", 0), 4);   // glued value
+  EXPECT_EQ(o.get_int("x", 0), 7);   // '=' separator
+  EXPECT_TRUE(o.get_bool("v", false));  // bare flag
+  EXPECT_EQ(o.get_int("n", 0), 9);   // space-separated value
+  EXPECT_TRUE(o.positional().empty());
+}
+
+TEST(Options, ShortOptionsLeaveNegativeNumbersPositional) {
+  const char* argv[] = {"prog", "-5", "-j", "-2"};
+  mu::Options o(4, argv);
+  // "-5" is a positional, and bare "-j" followed by "-2" stays a flag
+  // (the lookahead refuses dash-leading values).
+  EXPECT_TRUE(o.get_bool("j", false));
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "-5");
+  EXPECT_EQ(o.positional()[1], "-2");
+}
+
 TEST(Options, TracksUnusedKeys) {
   const char* argv[] = {"prog", "--used=1", "--typo=2"};
   mu::Options o(3, argv);
