@@ -22,12 +22,38 @@ std::size_t env_capacity(const char* name) {
 
 }  // namespace
 
+bool RunConfig::parse_checkpoint(const std::string& request) {
+  checkpoint_path.clear();
+  checkpoint_events.clear();
+  const std::size_t at = request.rfind('@');
+  if (at == std::string::npos || at == 0 || at + 1 == request.size())
+    return false;
+  std::vector<std::uint64_t> events;
+  const std::string list = request.substr(at + 1);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string tok = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok.empty() || end == nullptr || *end != '\0') return false;
+    events.push_back(static_cast<std::uint64_t>(v));
+    pos = comma + 1;
+  }
+  checkpoint_path = request.substr(0, at);
+  checkpoint_events = std::move(events);
+  return true;
+}
+
 RunConfig RunConfig::from_env() {
   RunConfig cfg;
   cfg.metrics_path = env_or_empty("MVFLOW_METRICS");
   cfg.trace_path = env_or_empty("MVFLOW_TRACE");
   cfg.trace_csv_path = env_or_empty("MVFLOW_TRACE_CSV");
   cfg.trace_capacity = env_capacity("MVFLOW_TRACE_CAPACITY");
+  const std::string ck = env_or_empty("MVFLOW_CHECKPOINT");
+  if (!ck.empty()) cfg.parse_checkpoint(ck);
   return cfg;
 }
 
@@ -43,6 +69,8 @@ RunConfig RunConfig::quiet() const {
   cfg.metrics_path.clear();
   cfg.trace_path.clear();
   cfg.trace_csv_path.clear();
+  cfg.checkpoint_path.clear();
+  cfg.checkpoint_events.clear();
   return cfg;
 }
 

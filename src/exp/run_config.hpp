@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mvflow::exp {
 
@@ -27,6 +29,23 @@ struct RunConfig {
   /// Flight-recorder ring size when tracing is on (was
   /// $MVFLOW_TRACE_CAPACITY; 0 falls back to the recorder default).
   std::size_t trace_capacity = 0;
+
+  /// Checkpoint request ($MVFLOW_CHECKPOINT = "path@ev1[,ev2,...]"): write
+  /// a world snapshot (DESIGN.md §13) at each listed executed-event count.
+  /// One event writes exactly `checkpoint_path`; several write
+  /// `<path>.<k>` each. Only honoured by worlds running a *registered*
+  /// workload (mpi/workload.hpp) — an ad-hoc closure body cannot be
+  /// replayed, so a snapshot of it could never restore.
+  std::string checkpoint_path;
+  std::vector<std::uint64_t> checkpoint_events;
+
+  bool checkpoint_enabled() const noexcept {
+    return !checkpoint_path.empty() && !checkpoint_events.empty();
+  }
+
+  /// Parse a "path@ev1[,ev2,...]" request into the two fields above.
+  /// Returns false (and clears both) when the syntax is malformed.
+  bool parse_checkpoint(const std::string& request);
 
   /// Tracing is armed when any trace export is requested.
   bool trace_enabled() const noexcept {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/serial.hpp"
 
 namespace mvflow::flowctl {
 
@@ -108,6 +109,57 @@ int ConnectionFlow::on_backlogged_flag() {
   // The fresh buffers are immediately returnable credits for the sender.
   accumulated_ += step;
   return step;
+}
+
+std::string TuneDelta::to_string() const {
+  std::string out;
+  const auto add = [&out](const std::string& kv) {
+    if (!out.empty()) out += ",";
+    out += kv;
+  };
+  if (ecm_threshold) add("ecm_threshold=" + std::to_string(*ecm_threshold));
+  if (growth_step) add("growth_step=" + std::to_string(*growth_step));
+  if (exponential_growth)
+    add(std::string("exponential_growth=") + (*exponential_growth ? "1" : "0"));
+  if (max_prepost) add("max_prepost=" + std::to_string(*max_prepost));
+  if (allow_decay) add(std::string("allow_decay=") + (*allow_decay ? "1" : "0"));
+  if (decay_idle_msgs) add("decay_idle_msgs=" + std::to_string(*decay_idle_msgs));
+  return out.empty() ? "baseline" : out;
+}
+
+void ConnectionFlow::retune(const TuneDelta& d) {
+  if (d.ecm_threshold) config_.ecm_threshold = *d.ecm_threshold;
+  if (d.growth_step) config_.growth_step = *d.growth_step;
+  if (d.exponential_growth) config_.exponential_growth = *d.exponential_growth;
+  if (d.max_prepost) config_.max_prepost = *d.max_prepost;
+  if (d.allow_decay) config_.allow_decay = *d.allow_decay;
+  if (d.decay_idle_msgs) config_.decay_idle_msgs = *d.decay_idle_msgs;
+}
+
+void ConnectionFlow::serialize_state(util::serial::BufWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(config_.scheme));
+  w.i32(config_.prepost);
+  w.i32(config_.ecm_threshold);
+  w.i32(config_.growth_step);
+  w.b(config_.exponential_growth);
+  w.i32(config_.max_prepost);
+  w.b(config_.allow_decay);
+  w.i32(config_.decay_idle_msgs);
+  w.i32(credits_);
+  w.i32(accumulated_);
+  w.i32(current_posted_);
+  w.i32(idle_msgs_);
+  w.i32(pending_decay_);
+  w.u64(counters_.credited_sent);
+  w.u64(counters_.control_sent);
+  w.u64(counters_.ecm_sent);
+  w.u64(counters_.backlog_entered);
+  w.u64(counters_.backlog_dispatched);
+  w.u64(counters_.optimistic_rts);
+  w.u64(counters_.credits_received);
+  w.u64(counters_.growth_events);
+  w.u64(counters_.decay_events);
+  w.i32(counters_.max_posted);
 }
 
 }  // namespace mvflow::flowctl

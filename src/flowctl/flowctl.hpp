@@ -24,6 +24,10 @@
 #include <string>
 #include <string_view>
 
+namespace mvflow::util::serial {
+class BufWriter;
+}
+
 namespace mvflow::flowctl {
 
 enum class Scheme : std::uint8_t { hardware, user_static, user_dynamic };
@@ -99,6 +103,26 @@ struct Counters {
     f("max_posted", static_cast<double>(max_posted));
     f("total_messages", static_cast<double>(total_messages()));
   }
+};
+
+/// Runtime-adjustable subset of Config: the tunables that can change on a
+/// live connection without restructuring it (the checkpoint-fork sweep
+/// applies these at the warm barrier — DESIGN.md §13). Structural fields
+/// (scheme, prepost) stay fixed: they define the connection's wired state.
+struct TuneDelta {
+  std::optional<int> ecm_threshold;
+  std::optional<int> growth_step;
+  std::optional<bool> exponential_growth;
+  std::optional<int> max_prepost;
+  std::optional<bool> allow_decay;
+  std::optional<int> decay_idle_msgs;
+
+  bool any() const noexcept {
+    return ecm_threshold || growth_step || exponential_growth || max_prepost ||
+           allow_decay || decay_idle_msgs;
+  }
+  /// Stable description for labeling sweep branches / JSON output.
+  std::string to_string() const;
 };
 
 class ConnectionFlow {
@@ -177,6 +201,15 @@ class ConnectionFlow {
   }
 
   const Counters& counters() const noexcept { return counters_; }
+
+  /// Apply a mid-run tuning delta (checkpoint-fork sweep). Only the
+  /// policy knobs move; credits, pools, and counters are untouched.
+  void retune(const TuneDelta& d);
+
+  /// Serialize the complete per-connection flow-control state — config,
+  /// credits, accumulators, pool size, decay bookkeeping, and counters —
+  /// for the snapshot's restore audit.
+  void serialize_state(util::serial::BufWriter& w) const;
 
  private:
   bool user_level() const noexcept {

@@ -1,6 +1,7 @@
 #include "ib/fabric.hpp"
 
 #include "util/check.hpp"
+#include "util/serial.hpp"
 
 namespace mvflow::ib {
 
@@ -156,6 +157,39 @@ MessageDataPool::Stats Fabric::msg_pool_stats() const {
     total.allocs += s.allocs;
   }
   return total;
+}
+
+void Fabric::serialize_state(util::serial::BufWriter& w) const {
+  w.u32(next_qpn_);
+  stats_.visit([&w](std::string_view, double v) { w.f64(v); });
+  // The fault injector's RNG stream: its position is the whole point — two
+  // runs that consumed a different number of draws have diverged even if
+  // every counter happens to match.
+  for (std::uint64_t word : fault_rng_.state()) w.u64(word);
+  w.u64(scripted_.size());
+  for (const ScriptedState& s : scripted_) {
+    w.u64(s.seen);
+    w.b(s.fired);
+  }
+  // Per-node link occupancy (both directions) and HCA-level bookkeeping.
+  w.u64(nodes_.size());
+  const auto put_resource = [&w](const sim::Resource& r) {
+    w.i64(r.busy_until().count());
+    w.i64(r.total_busy().count());
+    w.u64(r.uses());
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    put_resource(up_[i]);
+    put_resource(down_[i]);
+    const Hca& hca = *nodes_[i];
+    w.u64(hca.memory().region_count());
+    w.u64(hca.memory().registered_bytes());
+    const MessageDataPool::Stats& ps = hca.msg_pool().stats();
+    w.u64(ps.acquires);
+    w.u64(ps.reuses);
+    w.u64(ps.allocs);
+    w.u64(hca.msg_pool().outstanding());
+  }
 }
 
 void Fabric::deliver(int node, const Packet& pkt) {

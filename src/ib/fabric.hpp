@@ -17,6 +17,10 @@
 #include "sim/resource.hpp"
 #include "util/rng.hpp"
 
+namespace mvflow::util::serial {
+class BufWriter;
+}
+
 namespace mvflow::ib {
 
 /// `packets`/`wire_bytes` count transmit attempts (the sender serializes a
@@ -84,6 +88,12 @@ class Fabric {
 
   /// Wire size of a packet (payload + per-kind overhead).
   std::uint32_t wire_bytes(const Packet& pkt) const;
+
+  /// Serialize the fabric's complete state for the snapshot restore audit:
+  /// wire/fault counters, QPN allocator, fault-injector RNG stream and
+  /// scripted-fault progress, per-node link occupancy, and each HCA's
+  /// registry and message-pool bookkeeping.
+  void serialize_state(util::serial::BufWriter& w) const;
 
  private:
   void deliver(int node, const Packet& pkt);

@@ -8,6 +8,7 @@
 #include "ib/hca.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
+#include "util/serial.hpp"
 
 namespace mvflow::ib {
 
@@ -757,6 +758,75 @@ void QueuePair::enter_error() {
     recv_cq_->push(Completion{wr.wr_id, WcStatus::flushed, WcOpcode::recv, 0,
                               qpn_, remote_qpn_});
   recvq_.clear();
+}
+
+void QueuePair::serialize_state(util::serial::BufWriter& w) const {
+  w.u32(qpn_);
+  w.u8(static_cast<std::uint8_t>(type_));
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.i32(remote_node_);
+  w.u32(remote_qpn_);
+
+  // Requester pipeline. Payload bytes are not captured (they are either
+  // borrowed app memory or pool snapshots that replay reconstructs); the
+  // protocol identity of each in-flight message is.
+  const auto put_pending = [&w](const PendingSend& ps) {
+    w.u64(ps.wr.wr_id);
+    w.u64(ps.msn);
+    w.u8(static_cast<std::uint8_t>(ps.wr.opcode));
+    w.u32(ps.wr.length);
+    w.i32(ps.rnr_retries_left);
+    w.b(ps.retransmission);
+    w.b(ps.acked);
+  };
+  w.u64(pending_tx_.size());
+  for (const PendingSend& ps : pending_tx_) put_pending(ps);
+  w.u64(unacked_.size());
+  for (const PendingSend& ps : unacked_) put_pending(ps);
+  w.u64(next_msn_);
+  w.b(rnr_waiting_);
+  w.i64(advertised_credits_);
+  w.b(rnr_timer_.valid());
+  w.b(retx_armed_);
+  w.b(retx_timer_.valid());
+  w.i32(retx_attempts_);
+  w.u64(reads_.size());
+  for (const auto& [msn, rp] : reads_) {
+    w.u64(msn);
+    w.u32(rp.wr.length);
+    w.u32(rp.received);
+  }
+
+  // Responder window.
+  w.u64(recvq_.size());
+  for (const RecvWr& wr : recvq_) {
+    w.u64(wr.wr_id);
+    w.u32(wr.length);
+  }
+  w.u64(expected_msn_);
+  w.u64(dropping_msn_);
+  w.u64(last_seq_nak_msn_);
+  w.b(rx_cur_.has_value());
+  if (rx_cur_) {
+    w.u64(rx_cur_->msn);
+    w.u32(rx_cur_->pkts_seen);
+  }
+
+  // Counters.
+  w.u64(stats_.messages_sent);
+  w.u64(stats_.bytes_sent);
+  w.u64(stats_.packets_sent);
+  w.u64(stats_.messages_received);
+  w.u64(stats_.rnr_naks_received);
+  w.u64(stats_.rnr_naks_sent);
+  w.u64(stats_.retransmitted_messages);
+  w.u64(stats_.retransmitted_bytes);
+  w.u64(stats_.packets_dropped);
+  w.u64(stats_.transport_retries);
+  w.u64(stats_.seq_naks_sent);
+  w.u64(stats_.seq_naks_received);
+  w.u64(stats_.corrupt_packets_received);
+  w.i64(stats_.last_advertised_credits);
 }
 
 }  // namespace mvflow::ib

@@ -32,6 +32,10 @@
 #include "sim/engine.hpp"
 #include "util/flat_fifo.hpp"
 
+namespace mvflow::util::serial {
+class BufWriter;
+}
+
 namespace mvflow::ib {
 
 class Hca;
@@ -73,6 +77,14 @@ class QueuePair {
   void modify_error();
 
   const QpStats& stats() const noexcept { return stats_; }
+
+  /// Serialize the QP's complete protocol state for the snapshot restore
+  /// audit (DESIGN.md §13): connection identity, message sequence windows,
+  /// the send pipeline (queued + unacked entries with their MSNs, sizes and
+  /// retry budgets), the RNR / ACK-timeout retransmission machinery
+  /// (including whether each timer is armed), the responder's receive
+  /// window and reassembly cursor, and the per-QP counters.
+  void serialize_state(util::serial::BufWriter& w) const;
 
  private:
   friend class Fabric;

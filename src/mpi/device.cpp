@@ -6,6 +6,7 @@
 #include "mpi/world.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
+#include "util/serial.hpp"
 
 namespace mvflow::mpi {
 
@@ -803,6 +804,96 @@ std::vector<Rank> Device::peers() const {
     out.push_back(peer);
   }
   return out;
+}
+
+void Device::retune(const flowctl::TuneDelta& d) {
+  for (auto& [peer, ep] : endpoints_) {
+    (void)peer;
+    ep->flow.retune(d);
+  }
+}
+
+void Device::serialize_state(util::serial::BufWriter& w) const {
+  w.i32(me_);
+  w.u64(stats_.eager_sent);
+  w.u64(stats_.rndv_started);
+  w.u64(stats_.small_converted_to_rndv);
+  w.u64(stats_.payload_bytes_sent);
+  w.u64(stats_.reg_cache_hits);
+  w.u64(stats_.reg_cache_misses);
+  w.u64(stats_.max_unexpected);
+  w.u64(stats_.error_completions);
+  w.u64(stats_.stale_completions);
+  w.u64(stats_.duplicate_wire_msgs);
+  w.u64(stats_.replayed_wire_msgs);
+  w.u64(stats_.endpoint_failures);
+  w.u64(stats_.reconnects);
+  w.u64(stats_.requests_failed);
+
+  match_.serialize_state(w);
+
+  // Endpoints in rank order (std::map iteration is deterministic).
+  w.u64(endpoints_.size());
+  for (const auto& [peer, ep] : endpoints_) {
+    w.i32(peer);
+    w.b(ep->active);
+    w.b(ep->famine_rts_inflight);
+    w.b(ep->failed);
+    w.b(ep->recovering);
+    w.u64(ep->tx_seq);
+    w.u64(ep->rx_seq);
+    w.u64(ep->slots.size());
+    w.u64(ep->backlog.size());
+    for (const BacklogEntry& be : ep->backlog) {
+      w.u8(static_cast<std::uint8_t>(be.hdr.kind));
+      w.u8(be.hdr.backlogged);
+      w.u8(be.hdr.optimistic);
+      w.i32(be.hdr.src_rank);
+      w.i32(be.hdr.tag);
+      w.u32(be.hdr.payload_bytes);
+      w.u64(be.hdr.sreq);
+      w.u64(be.payload.size());
+      w.i64(be.enqueued_at.count());
+    }
+    ep->flow.serialize_state(w);
+    if (ep->qp) {
+      w.b(true);
+      ep->qp->serialize_state(w);
+    } else {
+      w.b(false);
+    }
+    // Stats carried over from QPs retired by recovery.
+    w.u64(ep->retired_qp.messages_sent);
+    w.u64(ep->retired_qp.retransmitted_messages);
+    w.u64(ep->retired_qp.rnr_naks_received);
+    w.u64(ep->retired_qp.packets_dropped);
+  }
+
+  // Outstanding-operation tables: the keys (and allocators) pin the exact
+  // identity of every in-flight op.
+  w.u64(next_tx_id_);
+  w.u64(tx_.size());
+  for (const auto& [id, ctx] : tx_) {
+    w.u64(id);
+    w.b(ctx.is_rdma_write);
+    w.i32(ctx.peer);
+  }
+  w.u64(next_rndv_id_);
+  w.u64(send_rndv_.size());
+  for (const auto& [id, sr] : send_rndv_) {
+    w.u64(id);
+    w.i32(sr.dst);
+    w.u64(sr.data.size());
+    w.u64(sr.rreq);
+  }
+  w.u64(recv_rndv_.size());
+  for (const auto& [id, rr] : recv_rndv_) {
+    w.u64(id);
+    w.i32(rr.src);
+    w.i32(rr.tag);
+    w.u32(rr.bytes);
+  }
+  w.u64(reg_cache_.size());
 }
 
 }  // namespace mvflow::mpi

@@ -25,6 +25,10 @@
 #include "mpi/types.hpp"
 #include "sim/process.hpp"
 
+namespace mvflow::util::serial {
+class BufWriter;
+}
+
 namespace mvflow::mpi {
 
 class World;
@@ -117,6 +121,16 @@ class Device {
   }
   ib::QueuePair& endpoint_qp(Rank peer) { return *endpoints_.at(peer)->qp; }
   std::vector<Rank> peers() const;
+
+  /// Apply a flow-control tuning delta to every live connection (the
+  /// checkpoint-fork sweep's branch point — DESIGN.md §13).
+  void retune(const flowctl::TuneDelta& d);
+
+  /// Serialize the rank's complete device state for the snapshot restore
+  /// audit: counters, tag-matching queues, every endpoint (flow control,
+  /// QP, wire sequencing, backlog, receive pool shape), and the
+  /// outstanding-operation tables (tx contexts, rendezvous ops, pin cache).
+  void serialize_state(util::serial::BufWriter& w) const;
 
  private:
   struct Arena {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/serial.hpp"
+
 namespace mvflow::mpi {
 
 std::optional<PostedRecv> MatchQueue::match_inbound(Rank src, Tag tag) {
@@ -38,6 +40,26 @@ std::optional<UnexpectedMsg> MatchQueue::match_posted(Rank src, Tag tag) {
     }
   }
   return std::nullopt;
+}
+
+void MatchQueue::serialize_state(util::serial::BufWriter& w) const {
+  w.u64(posted_.size());
+  for (const PostedRecv& pr : posted_) {
+    w.i32(pr.src);
+    w.i32(pr.tag);
+    w.u32(pr.capacity);
+  }
+  w.u64(unexpected_.size());
+  for (const UnexpectedMsg& um : unexpected_) {
+    w.i32(um.src);
+    w.i32(um.tag);
+    w.b(um.is_rndv);
+    w.u64(um.eager_payload.size());
+    w.bytes(um.eager_payload.data(), um.eager_payload.size());
+    w.u32(um.rndv_bytes);
+    w.u64(um.rndv_sreq);
+  }
+  w.u64(max_unexpected_);
 }
 
 }  // namespace mvflow::mpi

@@ -12,6 +12,10 @@
 #include "mpi/request.hpp"
 #include "mpi/types.hpp"
 
+namespace mvflow::util::serial {
+class BufWriter;
+}
+
 namespace mvflow::mpi {
 
 /// A receive the application posted and the transport has not matched yet.
@@ -55,6 +59,11 @@ class MatchQueue {
   std::size_t posted_count() const noexcept { return posted_.size(); }
   std::size_t unexpected_count() const noexcept { return unexpected_.size(); }
   std::size_t max_unexpected() const noexcept { return max_unexpected_; }
+
+  /// Serialize the matching state (queue order included — MPI ordering
+  /// semantics make the order part of the semantics) for the snapshot
+  /// restore audit.
+  void serialize_state(util::serial::BufWriter& w) const;
 
  private:
   static bool matches(Rank want_src, Tag want_tag, Rank src, Tag tag) {

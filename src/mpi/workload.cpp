@@ -1,0 +1,164 @@
+#include "mpi/workload.hpp"
+
+#include <cstddef>
+#include <utility>
+
+#include "mpi/communicator.hpp"
+#include "util/serial.hpp"
+
+namespace mvflow::mpi {
+
+namespace {
+
+std::map<std::string, WorkloadFactory>& registry() {
+  static auto* r = new std::map<std::string, WorkloadFactory>();
+  return *r;
+}
+
+// ---- built-in bodies --------------------------------------------------
+
+RankBodyFn make_pingpong(const WorkloadSpec& spec) {
+  const std::size_t bytes = static_cast<std::size_t>(spec.param("bytes", 8));
+  const int iters = static_cast<int>(spec.param("iters", 200));
+  return [bytes, iters](Communicator& comm) {
+    if (comm.rank() > 1) return;
+    std::vector<std::byte> buf(bytes > 0 ? bytes : 1);
+    for (int i = 0; i < iters; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 7);
+        comm.recv(buf, 1, 7);
+      } else {
+        comm.recv(buf, 0, 7);
+        comm.send(buf, 0, 7);
+      }
+    }
+  };
+}
+
+RankBodyFn make_bw(const WorkloadSpec& spec) {
+  const std::size_t bytes = static_cast<std::size_t>(spec.param("bytes", 1024));
+  const int window = static_cast<int>(spec.param("window", 16));
+  const int reps = static_cast<int>(spec.param("reps", 50));
+  const bool blocking = spec.param("blocking", 0) != 0;
+  return [bytes, window, reps, blocking](Communicator& comm) {
+    if (comm.rank() > 1) return;
+    std::vector<std::byte> buf(bytes > 0 ? bytes : 1);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < reps; ++r) {
+        if (blocking) {
+          for (int i = 0; i < window; ++i) comm.send(buf, 1, 3);
+        } else {
+          std::vector<RequestPtr> reqs;
+          reqs.reserve(static_cast<std::size_t>(window));
+          for (int i = 0; i < window; ++i) reqs.push_back(comm.isend(buf, 1, 3));
+          comm.wait_all(reqs);
+        }
+      }
+      // Close the stream so the sink's elapsed time covers everything.
+      comm.recv(buf, 1, 4);
+    } else {
+      for (int r = 0; r < reps; ++r) {
+        for (int i = 0; i < window; ++i) comm.recv(buf, 0, 3);
+      }
+      comm.send(buf, 0, 4);
+    }
+  };
+}
+
+RankBodyFn make_allpairs(const WorkloadSpec& spec) {
+  const std::size_t bytes = static_cast<std::size_t>(spec.param("bytes", 512));
+  const int rounds = static_cast<int>(spec.param("rounds", 20));
+  return [bytes, rounds](Communicator& comm) {
+    std::vector<std::byte> sendbuf(bytes > 0 ? bytes : 1);
+    std::vector<std::byte> recvbuf(sendbuf.size());
+    for (int r = 0; r < rounds; ++r) {
+      for (int off = 1; off < comm.size(); ++off) {
+        const Rank dst = (comm.rank() + off) % comm.size();
+        const Rank src = (comm.rank() - off + comm.size()) % comm.size();
+        comm.sendrecv(sendbuf, dst, 11, recvbuf, src, 11);
+      }
+    }
+  };
+}
+
+RankBodyFn make_soak(const WorkloadSpec& spec) {
+  const std::size_t bytes = static_cast<std::size_t>(spec.param("bytes", 256));
+  const int rounds = static_cast<int>(spec.param("rounds", 60));
+  return [bytes, rounds](Communicator& comm) {
+    std::vector<std::byte> sendbuf;
+    std::vector<std::byte> recvbuf;
+    for (int r = 0; r < rounds; ++r) {
+      // Cycle the message size so eager, multi-packet, and rendezvous
+      // traffic all stay in flight over the soak's lifetime.
+      const std::size_t mult = static_cast<std::size_t>(1)
+                               << (2 * (r % 3));  // 1x, 4x, 16x
+      const std::size_t sz = (bytes > 0 ? bytes : 1) * mult;
+      sendbuf.assign(sz, std::byte{static_cast<unsigned char>(r)});
+      recvbuf.assign(sz, std::byte{0});
+      for (int off = 1; off < comm.size(); ++off) {
+        const Rank dst = (comm.rank() + off) % comm.size();
+        const Rank src = (comm.rank() - off + comm.size()) % comm.size();
+        comm.sendrecv(sendbuf, dst, 21, recvbuf, src, 21);
+      }
+      if (r % 8 == 7) comm.barrier();
+    }
+  };
+}
+
+const bool kBuiltinsRegistered = [] {
+  register_workload("pingpong", make_pingpong);
+  register_workload("bw", make_bw);
+  register_workload("allpairs", make_allpairs);
+  register_workload("soak", make_soak);
+  return true;
+}();
+
+}  // namespace
+
+std::string WorkloadSpec::to_string() const {
+  std::string out = name + "(";
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + std::to_string(v);
+  }
+  return out + ")";
+}
+
+bool register_workload(const std::string& name, WorkloadFactory factory) {
+  registry()[name] = std::move(factory);
+  return true;
+}
+
+bool workload_registered(const std::string& name) {
+  (void)kBuiltinsRegistered;
+  return registry().count(name) != 0;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> out;
+  for (const auto& [name, f] : registry()) {
+    (void)f;
+    out.push_back(name);
+  }
+  return out;
+}
+
+RankBodyFn make_workload(const WorkloadSpec& spec) {
+  const auto it = registry().find(spec.name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [name, f] : registry()) {
+      (void)f;
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw util::serial::SnapshotError(
+        "snapshot names unknown workload \"" + spec.name +
+        "\" (registered: " + known + ")");
+  }
+  return it->second(spec);
+}
+
+}  // namespace mvflow::mpi

@@ -1,0 +1,61 @@
+// Registered, re-creatable rank bodies (DESIGN.md §13).
+//
+// A checkpoint cannot serialize a rank body: bodies are closures running on
+// OS-thread stacks. Resumable runs therefore describe their workload as a
+// *name plus integer parameters*; a restore looks the name up in the
+// registry and replays the exact same body. Every workload here must be
+// fully deterministic as a function of (WorldConfig, WorkloadSpec) — no
+// wall clock, no process-global RNG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mvflow::mpi {
+
+class Communicator;
+
+/// Serializable workload identity: registry name + integer parameters.
+struct WorkloadSpec {
+  std::string name;
+  std::map<std::string, std::int64_t> params;  // ordered => deterministic
+
+  std::int64_t param(const std::string& key, std::int64_t fallback) const {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+  /// "name(k1=v1,k2=v2)" — stable labels for logs and sweep output.
+  std::string to_string() const;
+};
+
+using RankBodyFn = std::function<void(Communicator&)>;
+using WorkloadFactory = std::function<RankBodyFn(const WorkloadSpec&)>;
+
+/// Register a workload under `name` (overwrites an existing entry).
+/// Returns true so call sites can use static-init registration.
+bool register_workload(const std::string& name, WorkloadFactory factory);
+
+/// Instantiate a registered workload. Throws util::serial::SnapshotError
+/// (naming the workload and listing what is registered) when `spec.name`
+/// is unknown — an unknown name in a snapshot is a restore failure.
+RankBodyFn make_workload(const WorkloadSpec& spec);
+
+bool workload_registered(const std::string& name);
+std::vector<std::string> workload_names();
+
+// Built-in workloads (registered at static init):
+//   pingpong  — ranks 0/1 exchange `bytes`-sized messages `iters` times.
+//   bw        — rank 0 streams `reps` windows of `window` sends of `bytes`
+//               to rank 1 (blocking=1 waits each send; the paper's fig3-8
+//               pattern); rank 1 sinks them.
+//   allpairs  — every rank sends `bytes` to every other rank, `rounds`
+//               times (uniform congestion; credit pressure on all pairs).
+//   soak      — long-horizon churn body: `rounds` of pairwise exchanges
+//               with per-round barriers, message size cycling over
+//               {`bytes`, 4*`bytes`, 16*`bytes`}; designed to keep traffic
+//               in flight continuously so mid-run kills land mid-message.
+
+}  // namespace mvflow::mpi

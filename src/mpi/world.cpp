@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mpi/checkpoint.hpp"
 #include "mpi/communicator.hpp"
 #include "obs/recorder.hpp"
 #include "sim/process.hpp"
@@ -133,6 +134,12 @@ sim::Duration World::run(const RankBody& body) {
   return run(bodies);
 }
 
+sim::Duration World::run_workload() {
+  util::require(workload_.has_value(),
+                "run_workload requires set_workload first");
+  return run(make_workload(*workload_));
+}
+
 sim::Duration World::run(const std::vector<RankBody>& bodies) {
   util::check(!ran_, "World::run may only be called once");
   util::require(static_cast<int>(bodies.size()) == cfg_.num_ranks,
@@ -168,9 +175,27 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
         }));
   }
 
+  // An MVFLOW_CHECKPOINT request is honoured only for registered
+  // workloads: a snapshot must record how to *replay* the run, and an
+  // ad-hoc closure body has no replayable identity.
+  if (cfg_.run.checkpoint_enabled() && workload_.has_value()) {
+    ckpt::arm_checkpoints(*this, cfg_.run.checkpoint_path,
+                          cfg_.run.checkpoint_events);
+  }
+
   // Safety net against modeled livelocks (e.g. infinite RNR retry against
   // a stopped rank): bound the simulated time.
   engine_.run_until(sim::TimePoint(cfg_.max_sim_time));
+
+  if (abort_requested_) {
+    // Simulated crash (World::abort_run): kill the rank processes where
+    // they stand and report the time reached — exactly what a process
+    // death mid-flight leaves behind. No deadlock diagnosis, no exports.
+    procs.clear();
+    elapsed_ = engine_.now();
+    return elapsed_;
+  }
+
   if (engine_.pending_events() > 0) {
     throw DeadlockError("simulation exceeded max_sim_time (livelock?)");
   }

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "ib/fabric.hpp"
 #include "mpi/config.hpp"
 #include "mpi/device.hpp"
+#include "mpi/workload.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
@@ -88,6 +90,28 @@ class World {
   /// Run one body per rank.
   sim::Duration run(const std::vector<RankBody>& bodies);
 
+  /// Declare the workload this world runs as a *registered* spec
+  /// (mpi/workload.hpp), making the run checkpointable: snapshots record
+  /// the spec and a restore replays it. Call before run().
+  void set_workload(WorkloadSpec spec) { workload_ = std::move(spec); }
+  const std::optional<WorkloadSpec>& workload() const noexcept {
+    return workload_;
+  }
+
+  /// Run the registered workload (set_workload must have been called).
+  sim::Duration run_workload();
+
+  /// Crash the simulation at the next event boundary: the engine stops,
+  /// run() kills every rank process still blocked mid-call and returns the
+  /// elapsed time so far (no deadlock diagnosis, no exports). This is the
+  /// churn harness's "kill -9 mid-flight" — the snapshot written *before*
+  /// the abort is the state a restart resumes from.
+  void abort_run() {
+    abort_requested_ = true;
+    engine_.stop();
+  }
+  bool aborted() const noexcept { return abort_requested_; }
+
   const WorldConfig& config() const noexcept { return cfg_; }
   int num_ranks() const noexcept { return cfg_.num_ranks; }
   sim::Engine& engine() noexcept { return engine_; }
@@ -135,6 +159,8 @@ class World {
   std::vector<std::unique_ptr<Device>> devices_;
   sim::Duration elapsed_{0};
   bool ran_ = false;
+  bool abort_requested_ = false;
+  std::optional<WorkloadSpec> workload_;
 };
 
 }  // namespace mvflow::mpi

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <set>
 
+#include "util/serial.hpp"
+
 namespace mvflow::obs {
 
 std::string_view to_string(Ev e) {
@@ -253,6 +255,41 @@ FlightRecorder* bind_recorder(FlightRecorder* r) noexcept {
 bool recorder_is_fallback() noexcept {
   return detail::t_recorder == nullptr ||
          detail::t_recorder == &detail::fallback_recorder();
+}
+
+void FlightRecorder::serialize_state(util::serial::BufWriter& w) const {
+  w.b(enabled_);
+  w.u64(ring_.size());  // capacity
+  w.u64(recorded_);
+  w.u64(dropped());
+  for (std::uint64_t c : kind_counts_) w.u64(c);
+  const std::vector<TraceEvent> evs = events();  // oldest first
+  w.u64(evs.size());
+  for (const TraceEvent& e : evs) {
+    w.i64(e.t.count());
+    w.u64(e.a);
+    w.i64(e.b);
+    w.u32(e.qpn);
+    w.i32(e.rank);
+    w.i32(e.peer);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+  }
+  const auto put_rs = [&w](const util::RunningStats& rs) {
+    rs.visit_raw([&w](double v) { w.f64(v); });
+  };
+  const auto put_hist = [&w](const util::Histogram& h) {
+    w.u64(h.total());
+    w.u64(h.underflow());
+    w.u64(h.overflow());
+    w.u64(h.bucket_count());
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) w.u64(h.bucket(i));
+  };
+  put_rs(latency_.post_to_wire);
+  put_rs(latency_.wire_to_ack);
+  put_rs(latency_.backlog_residency);
+  put_hist(latency_.post_to_wire_hist);
+  put_hist(latency_.wire_to_ack_hist);
+  put_hist(latency_.backlog_residency_hist);
 }
 
 }  // namespace mvflow::obs

@@ -36,6 +36,10 @@
 #include "sim/time.hpp"
 #include "util/stats.hpp"
 
+namespace mvflow::util::serial {
+class BufWriter;
+}
+
 namespace mvflow::obs {
 
 enum class Ev : std::uint8_t {
@@ -148,6 +152,11 @@ class FlightRecorder {
   /// the other column for that connection.
   void export_credit_csv(std::ostream& os) const;
   bool export_credit_csv(const std::string& path) const;
+
+  /// Serialize the recorder for the snapshot restore audit: configuration,
+  /// per-kind counts, the retained ring (oldest first), and the raw latency
+  /// accumulators (bit-exact, not the derived quantiles).
+  void serialize_state(util::serial::BufWriter& w) const;
 
  private:
   bool enabled_ = false;

@@ -8,6 +8,7 @@
 #include "sim/process.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/serial.hpp"
 
 namespace mvflow::sim {
 
@@ -216,6 +217,35 @@ bool Engine::dispatch_one() {
   return true;
 }
 
+void Engine::set_watchpoint(std::uint64_t executed, std::function<void()> fn) {
+  watchpoints_.emplace_back(executed, std::move(fn));
+  next_watch_ = std::min(next_watch_, executed);
+}
+
+void Engine::recompute_next_watch() noexcept {
+  next_watch_ = ~0ull;
+  for (const auto& [count, fn] : watchpoints_) {
+    next_watch_ = std::min(next_watch_, count);
+  }
+}
+
+void Engine::fire_watchpoints() {
+  // Extract the due callbacks before invoking any: a callback may register
+  // further watchpoints (e.g. a restore arming its next checkpoint), which
+  // must not invalidate this iteration.
+  std::vector<std::function<void()>> due;
+  for (auto it = watchpoints_.begin(); it != watchpoints_.end();) {
+    if (it->first <= perf_.executed) {
+      due.push_back(std::move(it->second));
+      it = watchpoints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_next_watch();
+  for (auto& fn : due) fn();
+}
+
 std::size_t Engine::run() {
   util::check(!running_, "Engine::run is not reentrant");
   running_ = true;
@@ -224,6 +254,7 @@ std::size_t Engine::run() {
   while (!stopped_ && top_live()) {
     dispatch_top();
     ++n;
+    if (perf_.executed >= next_watch_) fire_watchpoints();
   }
   running_ = false;
   if (first_error_) {
@@ -244,8 +275,9 @@ std::size_t Engine::run_until(TimePoint t) {
   while (!stopped_ && top_live() && heap_[0].t <= t) {
     dispatch_top();
     ++n;
+    if (perf_.executed >= next_watch_) fire_watchpoints();
   }
-  now_ = std::max(now_, t);
+  if (!stopped_) now_ = std::max(now_, t);
   running_ = false;
   if (first_error_) {
     auto e = first_error_;
@@ -253,6 +285,44 @@ std::size_t Engine::run_until(TimePoint t) {
     std::rethrow_exception(e);
   }
   return n;
+}
+
+void Engine::serialize_state(util::serial::BufWriter& w) const {
+  w.i64(now_.count());
+  w.u64(next_seq_);
+  w.u32(slab_size_);
+  w.u64(zombies_);
+  // Perf counters: deterministic across identical replays, so they belong
+  // in the audit (a divergence here means the replay did different work).
+  w.u64(perf_.scheduled);
+  w.u64(perf_.executed);
+  w.u64(perf_.cancelled_before_fire);
+  w.u64(perf_.peak_heap_depth);
+  w.u64(perf_.pool_reuses);
+  w.u64(perf_.pool_allocs);
+  // The pending/zombie heap in exact array order: (t, seq) is the total
+  // dispatch order of everything that will happen next.
+  w.u64(heap_.size());
+  for (const HeapEntry& e : heap_) {
+    w.i64(e.t.count());
+    w.u64(e.seq);
+    w.u32(e.slot);
+    w.u32(e.gen);
+  }
+  // Slab occupancy profile: each slot's generation counts its complete
+  // acquire/release history, and the freelist chain pins the exact order
+  // future slots will be handed out in.
+  for (std::uint32_t slot = 0; slot < slab_size_; ++slot) {
+    w.u32(node(slot).gen);
+  }
+  std::uint32_t free_len = 0;
+  for (std::uint32_t s = free_head_; s != kNone; s = node(s).next_free) {
+    ++free_len;
+  }
+  w.u32(free_len);
+  for (std::uint32_t s = free_head_; s != kNone; s = node(s).next_free) {
+    w.u32(s);
+  }
 }
 
 std::vector<Process*> Engine::blocked_processes() const {

@@ -12,12 +12,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "sim/inplace_function.hpp"
 #include "sim/time.hpp"
+
+namespace mvflow::util::serial {
+class BufWriter;
+}
 
 namespace mvflow::sim {
 
@@ -152,6 +157,24 @@ class Engine {
 
   const EnginePerfStats& perf_stats() const noexcept { return perf_; }
 
+  /// Run `fn` once executed_events() reaches `executed` (checked at the
+  /// event boundary after each dispatch, so the callback observes a
+  /// consistent "between events" world). Several watchpoints may share a
+  /// count; each fires exactly once, in registration order. The callback
+  /// runs in engine context and may capture state, register further
+  /// watchpoints, or call stop(); the inactive-path cost in the dispatch
+  /// loop is a single integer compare. This is the checkpoint hook
+  /// (DESIGN.md §13): "checkpoint at k events" arms a watchpoint at k.
+  void set_watchpoint(std::uint64_t executed, std::function<void()> fn);
+
+  /// Serialize the engine's complete scheduler state — clock, sequence
+  /// counter, the (t, seq, slot, gen) heap in exact array order, per-slot
+  /// generations, the freelist chain, and the perf counters — for the
+  /// snapshot's bit-identical restore audit. Event *callbacks* are not
+  /// serialized (closures are reconstructed by deterministic replay); this
+  /// captures every byte of scheduler state that orders them.
+  void serialize_state(util::serial::BufWriter& w) const;
+
   /// Processes register themselves; used to detect "simulation ended with
   /// blocked processes" (a deadlock in the modeled system).
   std::vector<Process*> blocked_processes() const;
@@ -227,6 +250,8 @@ class Engine {
   /// Reap zombies until the top entry is live; false when the heap drains.
   bool top_live();
   void dispatch_top();  // pop + run the (live) top event
+  void fire_watchpoints();
+  void recompute_next_watch() noexcept;
 
   std::vector<std::unique_ptr<Node[]>> chunks_;  // freelist-recycled slab
   std::uint32_t slab_size_ = 0;   // slots handed out so far (all chunks)
@@ -240,6 +265,11 @@ class Engine {
   bool running_ = false;
   std::vector<Process*> processes_;
   std::exception_ptr first_error_;
+  /// Checkpoint hooks: (executed-count, callback), fired at event
+  /// boundaries. `next_watch_` caches the minimum pending count so the
+  /// dispatch loop pays one compare when no watchpoint is armed.
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> watchpoints_;
+  std::uint64_t next_watch_ = ~0ull;
 };
 
 inline void EventHandle::cancel() {

@@ -68,6 +68,14 @@ class Xoshiro256 {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
+  // ---- checkpoint support (DESIGN.md §13) ----
+  // The full generator state is exactly these four words, so a stream can
+  // be serialized into a world snapshot and resume bit-identically. Every
+  // stochastic component must own its stream through a serializable path
+  // like this one — never hidden global state.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept { state_ = s; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,177 @@
+#include "util/serial.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mvflow::util::serial {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::vector<std::byte> frame_sections(const std::vector<Section>& sections) {
+  BufWriter payload;
+  for (const Section& s : sections) {
+    payload.u32(s.tag);
+    payload.u64(s.bytes.size());
+    payload.bytes(s.bytes.data(), s.bytes.size());
+  }
+  BufWriter out;
+  out.bytes(kMagic, sizeof kMagic);
+  out.u32(kVersion);
+  out.u32(0);  // flags, reserved
+  out.u64(payload.size());
+  out.u32(crc32(payload.data().data(), payload.size()));
+  out.bytes(payload.data().data(), payload.size());
+  return out.take();
+}
+
+std::vector<Section> parse_sections(const std::vector<std::byte>& file) {
+  if (file.size() < kHeaderBytes) {
+    throw SnapshotError("snapshot truncated: " + std::to_string(file.size()) +
+                        " bytes is smaller than the " +
+                        std::to_string(kHeaderBytes) + "-byte header");
+  }
+  BufReader r(file);
+  const std::vector<std::byte> magic = r.bytes(sizeof kMagic, "magic");
+  if (std::memcmp(magic.data(), kMagic, sizeof kMagic) != 0) {
+    throw SnapshotError("bad snapshot magic: not an mvflow snapshot file");
+  }
+  const std::uint32_t version = r.u32("version");
+  if (version != kVersion) {
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version) + " (this build reads version " +
+                        std::to_string(kVersion) + ")");
+  }
+  r.u32("flags");
+  const std::uint64_t payload_size = r.u64("payload size");
+  const std::uint32_t want_crc = r.u32("payload crc");
+  if (payload_size != r.remaining()) {
+    throw SnapshotError(
+        "snapshot truncated or padded: header declares " +
+        std::to_string(payload_size) + " payload bytes but " +
+        std::to_string(r.remaining()) + " follow");
+  }
+  const std::byte* payload = file.data() + kHeaderBytes;
+  const std::uint32_t got_crc = crc32(payload, payload_size);
+  if (got_crc != want_crc) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "snapshot payload CRC mismatch: stored %08x, computed %08x",
+                  want_crc, got_crc);
+    throw SnapshotError(buf);
+  }
+  std::vector<Section> out;
+  while (!r.at_end()) {
+    Section s;
+    s.tag = r.u32("section tag");
+    const std::uint64_t size = r.u64("section size");
+    s.bytes = r.bytes(size, "section body");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+const Section* find_section(const std::vector<Section>& sections,
+                            std::uint32_t tag) noexcept {
+  for (const Section& s : sections) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::byte>& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SnapshotError("cannot create " + tmp + ": " + errno_text());
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = errno_text();
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw SnapshotError("short write to " + tmp + ": " + err);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw SnapshotError("fsync " + tmp + " failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    const std::string err = errno_text();
+    ::unlink(tmp.c_str());
+    throw SnapshotError("close " + tmp + " failed: " + err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = errno_text();
+    ::unlink(tmp.c_str());
+    throw SnapshotError("rename " + tmp + " -> " + path + " failed: " + err);
+  }
+  // Durability of the rename itself: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort: some filesystems refuse dir fsync
+    ::close(dfd);
+  }
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SnapshotError("cannot open snapshot " + path + ": " + errno_text());
+  }
+  std::vector<std::byte> out;
+  std::byte buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    throw SnapshotError("read error on snapshot " + path + ": " + errno_text());
+  }
+  return out;
+}
+
+}  // namespace mvflow::util::serial
