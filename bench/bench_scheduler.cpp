@@ -1,0 +1,145 @@
+// Scheduler seam microbenchmark (DESIGN.md §14): wall-clock ns/op for the
+// 4-ary heap vs the calendar queue, driven the way the engine drives them
+// (peek-then-pop, monotone virtual clock) in a classic hold-time loop —
+// prefill to a target pending-set size, then alternate pop-min with a push
+// at a randomized future offset so the size hovers at the target.
+//
+// The sweep crosses pending sizes 1e2..1e6 with the three timestamp
+// distributions that separate the two structures:
+//   uniform   — dense near-term traffic, the calendar's best case;
+//   spike     — 40% same-timestamp bursts (collective fan-out), bucket
+//               pile-ups the calendar must scan;
+//   farfuture — 20% far-future outliers (idle retransmit timers), the
+//               calendar's rotor-lap worst case, the heap's non-event.
+// Results go to BENCH_scheduler.json; check_perf_regression.py gates the
+// named points against bench/baseline/.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace mvflow;
+using namespace mvflow::bench;
+
+namespace {
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+struct Dist {
+  const char* label;
+  int spike_percent;  ///< pushes reusing the previous timestamp
+  int far_percent;    ///< pushes landing ~1000 spreads out
+};
+
+constexpr Dist kDists[] = {
+    {"uniform", 0, 0},
+    {"spike", 40, 0},
+    {"farfuture", 0, 20},
+};
+
+constexpr std::size_t kPendingSizes[] = {100, 1'000, 10'000, 100'000,
+                                         1'000'000};
+
+/// Offset past `now` for one push under `d`; spread scales with the
+/// pending size so bucket occupancy stays realistic as the set grows.
+std::int64_t push_offset(Rng& rng, const Dist& d, std::uint64_t spread,
+                         std::int64_t prev_offset) {
+  const std::uint64_t roll = rng.below(100);
+  if (roll < static_cast<std::uint64_t>(d.spike_percent)) return prev_offset;
+  if (roll < static_cast<std::uint64_t>(d.spike_percent + d.far_percent)) {
+    return static_cast<std::int64_t>(spread * 1000 + rng.below(spread));
+  }
+  return static_cast<std::int64_t>(rng.below(spread));
+}
+
+struct HoldResult {
+  double ns_per_op = 0;   ///< one op = one pop + one push at steady state
+  double fill_ns_per_push = 0;
+  std::uint64_t checksum = 0;  ///< defeats dead-code elimination
+};
+
+HoldResult run_hold(sim::SchedKind kind, std::size_t pending, const Dist& d,
+                    std::size_t ops) {
+  sim::PendingQueue pq(kind);
+  Rng rng{0x5eed ^ pending};
+  const std::uint64_t spread = 16 * pending;  // ~16ns between neighbors
+  std::uint64_t seq = 0;
+  std::int64_t now = 0;
+  std::int64_t prev_offset = 0;
+  HoldResult out;
+
+  WallTimer fill;
+  for (std::size_t i = 0; i < pending; ++i) {
+    prev_offset = push_offset(rng, d, spread, prev_offset);
+    pq.push(sim::SchedEntry{sim::TimePoint(now + prev_offset), seq++, 0, 0});
+  }
+  out.fill_ns_per_push =
+      fill.seconds() * 1e9 / static_cast<double>(pending);
+
+  WallTimer hold;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const sim::SchedEntry* top = pq.peek();
+    now = top->t.count();
+    out.checksum += static_cast<std::uint64_t>(now) ^ top->seq;
+    pq.pop_min();
+    prev_offset = push_offset(rng, d, spread, prev_offset);
+    pq.push(sim::SchedEntry{sim::TimePoint(now + prev_offset), seq++, 0, 0});
+  }
+  out.ns_per_op = hold.seconds() * 1e9 / static_cast<double>(ops);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  // --ops scales the steady-state op count per cell; --passes picks how
+  // many timed repeats each cell gets (best reported, rejecting noise).
+  // Clamped to >= 1: ns_per_op divides by ops, and a zero (e.g. a typo'd
+  // "--ops 0"-style flag parsing as boolean) would write inf into the JSON.
+  const std::size_t ops = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, opts.get_int("ops", 400'000)));
+  const int passes = static_cast<int>(opts.get_int("passes", 3));
+
+  std::puts("# Scheduler microbenchmark: hold-time ns/op, heap4 vs calendar");
+  util::Table t({"dist", "pending", "heap4_ns", "calendar_ns", "cal/heap"});
+  WallTimer wall;
+  BenchJson json("scheduler");
+  for (const Dist& d : kDists) {
+    for (const std::size_t pending : kPendingSizes) {
+      HoldResult results[2];
+      for (int k = 0; k < 2; ++k) {
+        const auto kind = static_cast<sim::SchedKind>(k);
+        results[k] = run_hold(kind, pending, d, ops);
+        for (int p = 1; p < passes; ++p) {
+          const HoldResult again = run_hold(kind, pending, d, ops);
+          if (again.ns_per_op < results[k].ns_per_op) results[k] = again;
+        }
+      }
+      const double heap_ns = results[0].ns_per_op;
+      const double cal_ns = results[1].ns_per_op;
+      t.add(d.label, pending, heap_ns, cal_ns, cal_ns / heap_ns);
+      json.add_point({{"pending", static_cast<double>(pending)},
+                      {"spike_percent", static_cast<double>(d.spike_percent)},
+                      {"far_percent", static_cast<double>(d.far_percent)},
+                      {"heap4_ns_per_op", heap_ns},
+                      {"calendar_ns_per_op", cal_ns},
+                      {"heap4_fill_ns", results[0].fill_ns_per_push},
+                      {"calendar_fill_ns", results[1].fill_ns_per_push}});
+    }
+  }
+  t.print(std::cout);
+  json.write(wall.seconds());
+  return 0;
+}

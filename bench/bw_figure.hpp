@@ -22,12 +22,13 @@ inline constexpr int kBwWindows[] = {1, 2, 4, 8, 10, 16, 25, 50, 75, 100};
 /// value (1 = the pre-runner serial loop).
 inline util::Table build_bw_table(std::size_t msg_bytes, int prepost,
                                   bool blocking, BenchJson* json = nullptr,
-                                  int jobs = 1) {
+                                  int jobs = 1, EngineMode mode = {}) {
   const exp::SweepRunner runner(jobs);
   std::vector<std::function<BwResult()>> cells;
   for (const int window : kBwWindows) {
     for (const auto scheme : kSchemes) {
       mpi::WorldConfig cfg = base_config(scheme, prepost);
+      mode.apply(cfg);
       quiet_if_parallel(cfg, runner);
       cells.push_back([cfg, msg_bytes, window, blocking] {
         return run_bandwidth(cfg, msg_bytes, window, blocking);

@@ -42,12 +42,13 @@ inline constexpr std::size_t kFig2Sizes[] = {4,   16,   64,   256,
 /// results gathered in job order — the table is bit-identical for any
 /// `jobs` value.
 inline util::Table build_fig2_table(int iters, BenchJson* json = nullptr,
-                                    int jobs = 1) {
+                                    int jobs = 1, EngineMode mode = {}) {
   const exp::SweepRunner runner(jobs);
   std::vector<std::function<double()>> cells;
   for (const std::size_t bytes : kFig2Sizes) {
     for (const auto scheme : kSchemes) {
       mpi::WorldConfig cfg = base_config(scheme, /*prepost=*/100);
+      mode.apply(cfg);
       quiet_if_parallel(cfg, runner);
       cells.push_back([cfg, bytes, iters] {
         return pingpong_us(cfg, bytes, iters);

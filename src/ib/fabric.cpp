@@ -1,15 +1,20 @@
 #include "ib/fabric.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 #include "util/serial.hpp"
 
 namespace mvflow::ib {
 
-Fabric::Fabric(sim::Engine& engine, FabricConfig config, int num_nodes)
-    : engine_(engine),
+Fabric::Fabric(sim::Engine* serial, sim::ShardedEngine* sharded,
+               FabricConfig config, int num_nodes)
+    : serial_engine_(serial),
+      sharded_(sharded),
       config_(config),
       up_(num_nodes),
       down_(num_nodes),
+      node_stats_(num_nodes),
       fault_rng_(config.fault.seed),
       scripted_(config.fault.scripted.size()) {
   util::require(num_nodes > 0, "fabric needs at least one node");
@@ -18,6 +23,31 @@ Fabric::Fabric(sim::Engine& engine, FabricConfig config, int num_nodes)
   for (int i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Hca>(*this, i));
   }
+}
+
+Fabric::Fabric(sim::Engine& engine, FabricConfig config, int num_nodes)
+    : Fabric(&engine, nullptr, std::move(config), num_nodes) {}
+
+Fabric::Fabric(sim::ShardedEngine& engine, FabricConfig config, int num_nodes)
+    : Fabric(nullptr, &engine, std::move(config), num_nodes) {
+  util::require(engine.shard_count() == static_cast<std::size_t>(num_nodes),
+                "sharded fabric needs exactly one engine shard per node");
+  util::require(!config_.fault.active(),
+                "fault injection is serial-only: the injector draws one RNG "
+                "stream, which concurrent shard windows would race on");
+  engine.set_lookahead(min_lookahead());
+}
+
+sim::Duration Fabric::min_lookahead() const {
+  // The smallest packet either direction of a conversation can put on the
+  // wire: a zero-payload data packet is just its header, and that is
+  // smaller than an ACK here (48 vs 64 bytes by default).
+  const std::uint32_t min_wire =
+      std::min(config_.data_header_bytes, config_.ack_bytes);
+  const sim::Duration ser_min =
+      config_.per_packet_tx + sim::transfer_time(min_wire, config_.bandwidth_bps);
+  return ser_min + ser_min + config_.wire_latency + config_.wire_latency +
+         config_.switch_latency + config_.rx_process;
 }
 
 Hca& Fabric::hca(int node) {
@@ -69,20 +99,20 @@ bool Fabric::apply_faults(int src_node, int dst_node, Packet& pkt) {
     if (f.kind >= 0 && f.kind != static_cast<int>(pkt.kind)) continue;
     if (st.seen++ < f.skip) continue;
     st.fired = true;
-    ++stats_.scripted_faults_fired;
+    ++node_stats_[src_node].scripted_faults_fired;
     if (!f.corrupt) return false;
     pkt.corrupted = true;
-    ++stats_.corrupted_packets;
+    ++node_stats_[src_node].corrupted_packets;
     break;
   }
   if (fc.loss_prob > 0.0 && fault_rng_.uniform() < fc.loss_prob) {
-    ++stats_.lost_packets;
+    ++node_stats_[src_node].lost_packets;
     return false;
   }
   if (!pkt.corrupted && fc.corrupt_prob > 0.0 &&
       fault_rng_.uniform() < fc.corrupt_prob) {
     pkt.corrupted = true;
-    ++stats_.corrupted_packets;
+    ++node_stats_[src_node].corrupted_packets;
   }
   return true;
 }
@@ -95,45 +125,88 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
   const sim::Duration ser =
       config_.per_packet_tx + sim::transfer_time(wire, config_.bandwidth_bps);
 
-  ++stats_.packets;
-  stats_.wire_bytes += wire;
+  // Always charged to the *source* node's stats block: transmit runs on
+  // the source shard in sharded mode, so the block is never contended.
+  NodeStats& st = node_stats_[src_node];
+  ++st.packets;
+  st.wire_bytes += wire;
   if (pkt.kind == PacketKind::ack || pkt.kind == PacketKind::rnr_nak ||
       pkt.kind == PacketKind::access_nak ||
       pkt.kind == PacketKind::seq_nak) {
-    ++stats_.control_packets;
+    ++st.control_packets;
   } else {
-    ++stats_.data_packets;
+    ++st.data_packets;
   }
 
   const bool faults = config_.fault.active();
 
-  sim::TimePoint arrive;
   if (src_node == dst_node) {
-    // HCA loopback: through the adapter only, no switch hop.
+    // HCA loopback: through the adapter only, no switch hop. Entirely
+    // node-local, so it stays on the source engine in both modes.
     const sim::TimePoint start = up_[src_node].reserve(earliest, ser);
     if (faults && link_down(src_node, start)) {
-      ++stats_.flap_dropped_packets;
+      ++st.flap_dropped_packets;
       return;
     }
-    arrive = start + ser + config_.rx_process;
-  } else {
-    const sim::TimePoint up_start = up_[src_node].reserve(earliest, ser);
-    const sim::TimePoint at_switch = up_start + ser + config_.wire_latency;
-    // A dark link eats the packet: the sender still serialized it onto its
-    // uplink (it cannot know the link state), but nothing reaches the
-    // switch's output port, so the downlink is not reserved.
-    if (faults && (link_down(src_node, up_start) ||
-                   link_down(dst_node, at_switch + config_.switch_latency))) {
-      ++stats_.flap_dropped_packets;
-      return;
-    }
-    // Store-and-forward: the switch starts forwarding after the packet is
-    // fully received, plus its forwarding latency, subject to the output
-    // port being free.
-    const sim::TimePoint down_start =
-        down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
-    arrive = down_start + ser + config_.wire_latency + config_.rx_process;
+    const sim::TimePoint arrive = start + ser + config_.rx_process;
+    if (faults && !apply_faults(src_node, dst_node, pkt)) return;
+    auto delivery =
+        [this, dst_node, p = std::move(pkt)] { deliver(dst_node, p); };
+    static_assert(sizeof(delivery) <= sim::Engine::kEventInlineBytes,
+                  "packet-delivery closure no longer fits the engine's inline "
+                  "event storage");
+    engine_for(src_node).schedule_at(arrive, std::move(delivery));
+    return;
   }
+
+  const sim::TimePoint up_start = up_[src_node].reserve(earliest, ser);
+  const sim::TimePoint at_switch = up_start + ser + config_.wire_latency;
+
+  if (sharded_ != nullptr) {
+    // Cross-shard hop. The source side owns its uplink reservation; the
+    // switch output port and the delivery schedule belong to the
+    // destination, so they move to the barrier as a cross post keyed by
+    // switch-arrival time — the canonical drain order then reserves
+    // down_[dst] in at_switch order, a deterministic function of window
+    // content. The key (and everything downstream of it) is >= the window
+    // horizon by the lookahead argument, which is what makes running the
+    // shards concurrently safe.
+    auto finish = [this, dst_node, at_switch, ser,
+                   p = std::move(pkt)]() mutable {
+      const sim::TimePoint down_start =
+          down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
+      const sim::TimePoint arrive =
+          down_start + ser + config_.wire_latency + config_.rx_process;
+      auto delivery =
+          [this, dst_node, p2 = std::move(p)] { deliver(dst_node, p2); };
+      static_assert(sizeof(delivery) <= sim::Engine::kEventInlineBytes,
+                    "packet-delivery closure no longer fits the engine's "
+                    "inline event storage");
+      engine_for(dst_node).schedule_at(arrive, std::move(delivery));
+    };
+    static_assert(sizeof(finish) <= sim::ShardedEngine::kPostInlineBytes,
+                  "cross-shard packet closure no longer fits the sharded "
+                  "engine's inline post storage");
+    sharded_->post(static_cast<std::size_t>(src_node), at_switch,
+                   std::move(finish));
+    return;
+  }
+
+  // A dark link eats the packet: the sender still serialized it onto its
+  // uplink (it cannot know the link state), but nothing reaches the
+  // switch's output port, so the downlink is not reserved.
+  if (faults && (link_down(src_node, up_start) ||
+                 link_down(dst_node, at_switch + config_.switch_latency))) {
+    ++st.flap_dropped_packets;
+    return;
+  }
+  // Store-and-forward: the switch starts forwarding after the packet is
+  // fully received, plus its forwarding latency, subject to the output
+  // port being free.
+  const sim::TimePoint down_start =
+      down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
+  const sim::TimePoint arrive =
+      down_start + ser + config_.wire_latency + config_.rx_process;
 
   if (faults && !apply_faults(src_node, dst_node, pkt)) return;
 
@@ -145,7 +218,22 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
   static_assert(sizeof(delivery) <= sim::Engine::kEventInlineBytes,
                 "packet-delivery closure no longer fits the engine's inline "
                 "event storage");
-  engine_.schedule_at(arrive, std::move(delivery));
+  serial_engine_->schedule_at(arrive, std::move(delivery));
+}
+
+FabricStats Fabric::stats() const noexcept {
+  FabricStats total;
+  for (const NodeStats& ns : node_stats_) {
+    total.packets += ns.packets;
+    total.wire_bytes += ns.wire_bytes;
+    total.data_packets += ns.data_packets;
+    total.control_packets += ns.control_packets;
+    total.lost_packets += ns.lost_packets;
+    total.corrupted_packets += ns.corrupted_packets;
+    total.flap_dropped_packets += ns.flap_dropped_packets;
+    total.scripted_faults_fired += ns.scripted_faults_fired;
+  }
+  return total;
 }
 
 MessageDataPool::Stats Fabric::msg_pool_stats() const {
@@ -161,7 +249,9 @@ MessageDataPool::Stats Fabric::msg_pool_stats() const {
 
 void Fabric::serialize_state(util::serial::BufWriter& w) const {
   w.u32(next_qpn_);
-  stats_.visit([&w](std::string_view, double v) { w.f64(v); });
+  // The aggregate, not the per-node blocks: the sum is the canonical form
+  // (identical between serial and sharded runs of the same world).
+  stats().visit([&w](std::string_view, double v) { w.f64(v); });
   // The fault injector's RNG stream: its position is the whole point — two
   // runs that consumed a different number of draws have diverged even if
   // every counter happens to match.

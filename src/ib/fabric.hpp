@@ -4,6 +4,14 @@
 // and the switch is store-and-forward plus a fixed forwarding delay, so
 // bandwidth contention, head-of-line effects, and NAK/retransmit waste are
 // all visible in simulated time.
+//
+// The fabric runs on either a single serial Engine (the golden reference)
+// or a ShardedEngine with one shard per node (DESIGN.md §14). In sharded
+// mode every node-local structure — the HCA, its QPs, the node's uplink
+// Resource, its stats block — is touched only by that node's shard, and
+// the one genuinely shared structure (the switch's per-destination output
+// port, down_[dst]) is reserved exclusively inside barrier-drained cross
+// posts keyed by switch-arrival time.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,7 @@
 #include "ib/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "sim/sharded.hpp"
 #include "util/rng.hpp"
 
 namespace mvflow::util::serial {
@@ -56,13 +65,36 @@ struct FabricStats {
 class Fabric {
  public:
   Fabric(sim::Engine& engine, FabricConfig config, int num_nodes);
+  /// Sharded fabric: `engine` must have exactly one shard per node. Fault
+  /// injection is rejected here — the injector's single RNG stream would
+  /// be drawn from concurrently, losing determinism.
+  Fabric(sim::ShardedEngine& engine, FabricConfig config, int num_nodes);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   Hca& hca(int node);
   int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
-  sim::Engine& engine() noexcept { return engine_; }
+  /// The engine node-local work runs on: node's shard when sharded, the
+  /// one serial engine otherwise. Everything a QP/HCA schedules must go
+  /// through its own node's engine.
+  sim::Engine& engine_for(int node) noexcept {
+    return sharded_ != nullptr ? sharded_->shard(static_cast<std::size_t>(node))
+                               : *serial_engine_;
+  }
+  /// Shard-0 / serial engine; callers that act for a specific node use
+  /// engine_for.
+  sim::Engine& engine() noexcept { return engine_for(0); }
+  /// Non-null in sharded mode.
+  sim::ShardedEngine* sharded_engine() noexcept { return sharded_; }
   const FabricConfig& config() const noexcept { return config_; }
+
+  /// Smallest possible cross-node interaction latency: two minimum packet
+  /// serializations (a zero-payload data packet's header, or an ACK,
+  /// whichever is smaller on the wire) plus both wire hops, the switch
+  /// forwarding delay, and receive processing. This is the sharded
+  /// engine's lookahead — any event a shard executes at time T can first
+  /// be observed by another shard at T + min_lookahead().
+  sim::Duration min_lookahead() const;
 
   /// Connect two QPs into an RC pair (both transition to ready).
   static void connect(QueuePair& a, QueuePair& b);
@@ -70,7 +102,11 @@ class Fabric {
   /// Connect a QP to itself (same-process loopback endpoint).
   static void connect_loopback(QueuePair& q);
 
-  const FabricStats& stats() const noexcept { return stats_; }
+  /// Wire/fault counters summed over every node's block. Counters are kept
+  /// per source node (cache-line padded) so concurrent shard windows never
+  /// write a shared line; the sum is deterministic regardless of worker
+  /// count.
+  FabricStats stats() const noexcept;
 
   /// Message-pool counters aggregated over every HCA (hit rate ≈ 1.0 after
   /// warmup is the zero-alloc steady-state invariant).
@@ -111,13 +147,21 @@ class Fabric {
     bool fired = false;
   };
 
-  sim::Engine& engine_;
+  /// One stats block per source node, padded so two shards bumping their
+  /// own counters never share a cache line.
+  struct alignas(64) NodeStats : FabricStats {};
+
+  Fabric(sim::Engine* serial, sim::ShardedEngine* sharded, FabricConfig config,
+         int num_nodes);
+
+  sim::Engine* serial_engine_ = nullptr;   // exactly one of these two
+  sim::ShardedEngine* sharded_ = nullptr;  // is non-null
   FabricConfig config_;
   std::vector<std::unique_ptr<Hca>> nodes_;
   std::vector<sim::Resource> up_;    // node -> switch
   std::vector<sim::Resource> down_;  // switch -> node
-  QpNumber next_qpn_ = 100;
-  FabricStats stats_;
+  QpNumber next_qpn_ = 100;  // QP creation is setup-time (pre-run) only
+  std::vector<NodeStats> node_stats_;  // indexed by source node
   util::Xoshiro256 fault_rng_;
   std::vector<ScriptedState> scripted_;
 };

@@ -7,6 +7,8 @@ namespace mvflow::ib {
 
 Hca::Hca(Fabric& fabric, int node_id) : fabric_(fabric), node_id_(node_id) {}
 
+sim::Engine& Hca::engine() noexcept { return fabric_.engine_for(node_id_); }
+
 MemoryRegionHandle Hca::register_memory(std::span<std::byte> region,
                                         Access access) {
   return memory_.register_region(region, access);
@@ -17,7 +19,7 @@ void Hca::deregister_memory(MemoryRegionHandle handle) {
 }
 
 std::shared_ptr<CompletionQueue> Hca::create_cq() {
-  return std::make_shared<CompletionQueue>(fabric_.engine());
+  return std::make_shared<CompletionQueue>(engine());
 }
 
 std::shared_ptr<QueuePair> Hca::create_qp(

@@ -90,7 +90,7 @@ void QueuePair::post_send(const SendWr& wr) {
   }
   ps.data = std::move(data);
   if (auto& rec = obs::recorder(); rec.enabled()) {
-    ps.posted_at = hca_.fabric().engine().now();
+    ps.posted_at = hca_.engine().now();
     rec.record(ps.posted_at, obs::Ev::msg_posted, hca_.node_id(), remote_node_,
                qpn_, ps.msn, wr.length);
   }
@@ -154,7 +154,7 @@ void QueuePair::pump_tx() {
 void QueuePair::transmit_message(PendingSend& ps) {
   Fabric& fabric = hca_.fabric();
   const auto& cfg = fabric.config();
-  const auto now = fabric.engine().now();
+  const auto now = hca_.engine().now();
 
   if (ps.retransmission) {
     ++stats_.retransmitted_messages;
@@ -210,7 +210,7 @@ void QueuePair::send_control(PacketKind kind, Msn msn, std::int64_t credits) {
   pkt.msn = msn;
   pkt.credits = credits;
   hca_.fabric().transmit(hca_.node_id(), remote_node_, std::move(pkt),
-                         hca_.fabric().engine().now());
+                         hca_.engine().now());
 }
 
 void QueuePair::complete_send(const PendingSend& ps, WcStatus status,
@@ -255,7 +255,7 @@ void QueuePair::post_send_ud(const SendWr& wr) {
   pkt.payload_bytes = wr.length;
   pkt.msg = std::move(data);
   hca_.fabric().transmit(hca_.node_id(), wr.dest_node, std::move(pkt),
-                         hca_.fabric().engine().now() + cfg.tx_wqe_process);
+                         hca_.engine().now() + cfg.tx_wqe_process);
   ++stats_.messages_sent;
   stats_.bytes_sent += wr.length;
   ++stats_.packets_sent;
@@ -398,7 +398,7 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
         // Receiver not ready: drop the message, tell the requester.
         ++stats_.rnr_naks_sent;
         if (auto& rec = obs::recorder(); rec.enabled()) {
-          rec.record(hca_.fabric().engine().now(), obs::Ev::rnr_nak,
+          rec.record(hca_.engine().now(), obs::Ev::rnr_nak,
                      hca_.node_id(), remote_node_, qpn_, pkt.msn, 0);
         }
         dropping_msn_ = pkt.msn;
@@ -433,7 +433,7 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
   }
   ++stats_.messages_received;
   if (auto& rec = obs::recorder(); rec.enabled()) {
-    rec.record(hca_.fabric().engine().now(), obs::Ev::msg_delivered,
+    rec.record(hca_.engine().now(), obs::Ev::msg_delivered,
                hca_.node_id(), remote_node_, qpn_, pkt.msn, pkt.msg->length);
   }
   recv_cq_->push(Completion{wr.wr_id, WcStatus::success, WcOpcode::recv,
@@ -473,7 +473,7 @@ void QueuePair::responder_accept_write(const Packet& pkt) {
     std::memmove(pkt.msg->remote_addr, pkt.msg->bytes(), pkt.msg->length);
   ++stats_.messages_received;
   if (auto& rec = obs::recorder(); rec.enabled()) {
-    rec.record(hca_.fabric().engine().now(), obs::Ev::msg_delivered,
+    rec.record(hca_.engine().now(), obs::Ev::msg_delivered,
                hca_.node_id(), remote_node_, qpn_, pkt.msn, pkt.msg->length);
   }
   send_control(PacketKind::ack, pkt.msn,
@@ -532,7 +532,7 @@ void QueuePair::stream_read_response(const Packet& pkt) {
     remaining -= out.payload_bytes;
     out.msg = resp;
     fabric.transmit(hca_.node_id(), remote_node_, std::move(out),
-                    fabric.engine().now());
+                    hca_.engine().now());
   }
 }
 
@@ -578,7 +578,7 @@ void QueuePair::retire_acked_() {
     const PendingSend ps = std::move(unacked_.front());
     unacked_.pop_front();
     if (auto& rec = obs::recorder(); rec.enabled()) {
-      const auto now = hca_.fabric().engine().now();
+      const auto now = hca_.engine().now();
       rec.record(now, obs::Ev::msg_acked, hca_.node_id(), remote_node_, qpn_,
                  ps.msn, ps.data ? ps.data->length : 0);
       if (ps.first_tx_at.count() >= 0) rec.note_wire_to_ack(now - ps.first_tx_at);
@@ -625,7 +625,7 @@ void QueuePair::handle_rnr_nak(const Packet& pkt) {
   rewind_unacked_from(pkt.msn);
 
   rnr_waiting_ = true;
-  rnr_timer_ = hca_.fabric().engine().schedule_after(
+  rnr_timer_ = hca_.engine().schedule_after(
       hca_.fabric().config().rnr_timeout, [this] {
         rnr_waiting_ = false;
         pump_tx();
@@ -651,16 +651,19 @@ void QueuePair::rewind_unacked_from(Msn msn) {
 }
 
 void QueuePair::arm_retx_timer() {
+  // Member checks first: they are this-local (already in cache on every
+  // call path here), while the config lives two pointer hops away. The
+  // armed/empty early-outs cover the overwhelming share of calls.
+  if (retx_armed_ || unacked_.empty() || state_ != QpState::ready) return;
   const auto& cfg = hca_.fabric().config();
   if (!cfg.transport_enabled()) return;
-  if (retx_armed_ || unacked_.empty() || state_ != QpState::ready) return;
   sim::Duration d = cfg.transport_timeout;
   for (int i = 0; i < retx_attempts_ && d < cfg.transport_timeout_cap; ++i) {
     d += d;
   }
   d = std::min(d, cfg.transport_timeout_cap);
   retx_armed_ = true;
-  retx_timer_ = hca_.fabric().engine().schedule_after(d, [this] {
+  retx_timer_ = hca_.engine().schedule_after(d, [this] {
     retx_armed_ = false;
     handle_transport_timeout();
   });
@@ -742,7 +745,7 @@ void QueuePair::enter_error() {
   if (state_ == QpState::error) return;
   state_ = QpState::error;
   if (auto& rec = obs::recorder(); rec.enabled()) {
-    rec.record(hca_.fabric().engine().now(), obs::Ev::qp_error, hca_.node_id(),
+    rec.record(hca_.engine().now(), obs::Ev::qp_error, hca_.node_id(),
                remote_node_, qpn_, 0, 0);
   }
   rnr_timer_.cancel();

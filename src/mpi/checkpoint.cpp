@@ -35,6 +35,13 @@ void encode_config(serial::BufWriter& w, const WorldConfig& cfg,
   w.i64(cfg.max_sim_time.count());
   w.b(trace_armed);
   w.u64(trace_capacity);
+  // Engine mode travels with the snapshot: a sharded world's engine/trace
+  // sections only audit cleanly against a sharded replay (any worker count)
+  // and a serial one against serial, so the restore must come back up in
+  // the mode that captured. mvflow_ckpt --threads can override within a
+  // mode (e.g. restore a t8 capture with t2).
+  w.i32(cfg.engine_threads);
+  w.u8(static_cast<std::uint8_t>(cfg.scheduler));
 
   const flowctl::Config& f = cfg.flow;
   w.u8(static_cast<std::uint8_t>(f.scheme));
@@ -110,6 +117,8 @@ void decode_config(serial::BufReader& r, WorldConfig& cfg, bool& trace_armed,
   cfg.max_sim_time = sim::Duration(r.i64("max_sim_time"));
   trace_armed = r.b("trace_armed");
   trace_capacity = r.u64("trace_capacity");
+  cfg.engine_threads = r.i32("engine_threads");
+  cfg.scheduler = static_cast<sim::SchedKind>(r.u8("scheduler"));
 
   flowctl::Config& f = cfg.flow;
   f.scheme = static_cast<flowctl::Scheme>(r.u8("flow.scheme"));
@@ -201,7 +210,7 @@ std::vector<serial::Section> capture_state_sections(World& world) {
   std::vector<serial::Section> out;
 
   serial::BufWriter eng;
-  world.engine().serialize_state(eng);
+  world.serialize_engine_state(eng);
   out.push_back(make_section(kSecEngine, std::move(eng)));
 
   serial::BufWriter fab;
@@ -225,7 +234,7 @@ std::vector<serial::Section> capture_state_sections(World& world) {
   out.push_back(make_section(kSecMetrics, std::move(met)));
 
   serial::BufWriter trc;
-  world.recorder().serialize_state(trc);
+  world.serialize_trace_state(trc);
   out.push_back(make_section(kSecTrace, std::move(trc)));
 
   return out;
@@ -276,7 +285,7 @@ WorldSnapshot capture(World& world) {
                 "checkpoint capture requires a registered workload "
                 "(World::set_workload)");
   snap.workload = *world.workload();
-  snap.barrier = world.engine().executed_events();
+  snap.barrier = world.executed_events();
   snap.state = capture_state_sections(world);
   return snap;
 }
@@ -365,7 +374,7 @@ void arm_checkpoints(World& world, const std::string& path,
   const bool multiple = events.size() > 1;
   for (const std::uint64_t k : events) {
     const std::string file = checkpoint_file_path(path, k, multiple);
-    world.engine().set_watchpoint(k, [&world, file] {
+    world.set_event_watchpoint(k, [&world, file] {
       write_snapshot(capture(world), file);
     });
   }
@@ -379,8 +388,8 @@ RunResult run_world(World& world, const WorkloadSpec& spec,
   world.set_workload(spec);
   bool audited = false;
   if (audit_against != nullptr) {
-    world.engine().set_watchpoint(audit_against->barrier,
-                                  [&world, audit_against, &opts, &audited] {
+    world.set_event_watchpoint(audit_against->barrier,
+                               [&world, audit_against, &opts, &audited] {
       audit(world, *audit_against);
       audited = true;
       if (opts.tune.any()) {
@@ -396,8 +405,7 @@ RunResult run_world(World& world, const WorkloadSpec& spec,
     arm_checkpoints(world, opts.checkpoint_path, opts.checkpoint_events);
   }
   if (opts.kill_at > 0) {
-    world.engine().set_watchpoint(opts.kill_at,
-                                  [&world] { world.abort_run(); });
+    world.set_event_watchpoint(opts.kill_at, [&world] { world.abort_run(); });
   }
 
   RunResult out;
@@ -405,7 +413,7 @@ RunResult run_world(World& world, const WorkloadSpec& spec,
   if (audit_against != nullptr && !audited) {
     throw serial::SnapshotError(
         "restore replay finished after " +
-        std::to_string(world.engine().executed_events()) +
+        std::to_string(world.executed_events()) +
         " events without reaching the checkpoint barrier (" +
         std::to_string(audit_against->barrier) +
         ") — wrong workload or diverged run");

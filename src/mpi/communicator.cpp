@@ -60,6 +60,6 @@ Status Communicator::sendrecv(std::span<const std::byte> senddata, Rank dst,
   return rreq->status();
 }
 
-sim::TimePoint Communicator::now() const { return world_.engine().now(); }
+sim::TimePoint Communicator::now() const { return dev_.engine().now(); }
 
 }  // namespace mvflow::mpi

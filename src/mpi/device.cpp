@@ -26,6 +26,8 @@ Device::~Device() = default;
 
 int Device::world_size() const { return world_.num_ranks(); }
 
+sim::Engine& Device::engine() const noexcept { return world_.engine_for(me_); }
+
 // ---------------------------------------------------------------- setup --
 
 ib::QueuePair& Device::create_endpoint(Rank peer) {
@@ -232,7 +234,7 @@ void Device::send_credited(Endpoint& ep, WireHeader hdr,
   util::check(is_credited(hdr.kind), "send_credited with control kind");
   if (ep.backlog.empty() && ep.flow.try_acquire_credit()) {
     if (auto& rec = obs::recorder(); rec.enabled()) {
-      rec.record(world_.engine().now(), obs::Ev::credit_consume, me_, ep.peer,
+      rec.record(engine().now(), obs::Ev::credit_consume, me_, ep.peer,
                  ep.qp->qpn(), 1, ep.flow.credits());
     }
     post_wire(ep, hdr, payload);
@@ -244,7 +246,7 @@ void Device::send_credited(Endpoint& ep, WireHeader hdr,
   entry.hdr = hdr;
   entry.payload.assign(payload.begin(), payload.end());
   entry.eager_req = std::move(eager_req);
-  const sim::TimePoint now = world_.engine().now();
+  const sim::TimePoint now = engine().now();
   entry.enqueued_at = now;
   ep.backlog.push_back(std::move(entry));
   if (auto& rec = obs::recorder(); rec.enabled()) {
@@ -260,7 +262,7 @@ void Device::drain_backlog(Endpoint& ep) {
     ep.backlog.pop_front();
     ep.flow.note_backlog_dispatched();
     if (auto& rec = obs::recorder(); rec.enabled()) {
-      const auto now = world_.engine().now();
+      const auto now = engine().now();
       rec.record(now, obs::Ev::credit_consume, me_, ep.peer, ep.qp->qpn(), 1,
                  ep.flow.credits());
       rec.record(now, obs::Ev::backlog_dispatch, me_, ep.peer, ep.qp->qpn(),
@@ -293,7 +295,7 @@ void Device::dispatch_famine_head(Endpoint& ep) {
   ep.flow.note_backlog_dispatched();
   ep.flow.note_optimistic_rts();
   if (auto& rec = obs::recorder(); rec.enabled()) {
-    const auto now = world_.engine().now();
+    const auto now = engine().now();
     rec.record(now, obs::Ev::backlog_dispatch, me_, ep.peer, ep.qp->qpn(),
                ep.backlog.size(), ep.flow.credits());
     rec.note_backlog_residency(now - entry.enqueued_at);
@@ -336,7 +338,7 @@ void Device::send_ecm(Endpoint& ep) {
   hdr.kind = MsgKind::credit;
   ep.flow.note_ecm_sent();
   if (auto& rec = obs::recorder(); rec.enabled()) {
-    rec.record(world_.engine().now(), obs::Ev::ecm_sent, me_, ep.peer,
+    rec.record(engine().now(), obs::Ev::ecm_sent, me_, ep.peer,
                ep.qp->qpn(), ep.flow.pending_return_credits(), 0);
   }
   post_wire(ep, hdr, {});
@@ -555,7 +557,7 @@ void Device::fail_endpoint(Endpoint& ep) {
 void Device::begin_recovery(Endpoint& ep) {
   ep.recovering = true;
   const Rank peer = ep.peer;
-  world_.engine().schedule_after(
+  engine().schedule_after(
       world_.config().device.reconnect_delay,
       [this, peer] { world_.recover_pair(me_, peer); });
 }
@@ -646,7 +648,7 @@ void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
   if (hdr.piggyback_credits > 0) {
     ep.flow.add_credits(hdr.piggyback_credits);
     if (auto& rec = obs::recorder(); rec.enabled()) {
-      rec.record(world_.engine().now(), obs::Ev::credit_grant, me_, ep.peer,
+      rec.record(engine().now(), obs::Ev::credit_grant, me_, ep.peer,
                  ep.qp->qpn(), static_cast<std::uint64_t>(hdr.piggyback_credits),
                  ep.flow.credits());
     }

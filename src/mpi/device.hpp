@@ -81,6 +81,11 @@ class Device {
   Rank rank() const noexcept { return me_; }
   int world_size() const;
 
+  /// This rank's engine (its shard in a sharded world) — the only engine a
+  /// device may read time from or schedule on (shard-locality invariant,
+  /// DESIGN.md §14).
+  sim::Engine& engine() const noexcept;
+
   /// Bind the rank's simulated process (set by World when the body starts).
   void bind_process(sim::Process& proc) { proc_ = &proc; }
 

@@ -8,6 +8,7 @@
 #include "sim/process.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/serial.hpp"
 
 namespace mvflow::mpi {
 
@@ -58,16 +59,56 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   prev_recorder_ = obs::bind_recorder(&recorder_);
 
   // A requested trace export arms the recorder for this world's lifetime.
+  const std::size_t trace_capacity =
+      cfg_.run.trace_capacity != 0 ? cfg_.run.trace_capacity
+                                   : obs::FlightRecorder::kDefaultCapacity;
   if (cfg_.run.trace_enabled()) {
-    recorder_.enable(cfg_.run.trace_capacity != 0
-                         ? cfg_.run.trace_capacity
-                         : obs::FlightRecorder::kDefaultCapacity);
+    recorder_.enable(trace_capacity);
   }
 
-  fabric_ = std::make_unique<ib::Fabric>(engine_, cfg_.fabric, cfg_.num_ranks);
+  if (cfg_.engine_threads > 0) {
+    // Sharded world: one engine shard per rank. Connections must exist
+    // before the windows open — on-demand setup creates QPs (a fabric-wide
+    // allocator) from inside a rank's window, racing other shards.
+    util::require(!cfg_.on_demand_connections,
+                  "sharded worlds wire connections eagerly: on-demand setup "
+                  "mutates fabric-wide state from inside a shard's window");
+    sharded_ = std::make_unique<sim::ShardedEngine>(
+        static_cast<std::size_t>(cfg_.num_ranks),
+        static_cast<std::size_t>(cfg_.engine_threads), cfg_.scheduler);
+    fabric_ = std::make_unique<ib::Fabric>(*sharded_, cfg_.fabric,
+                                           cfg_.num_ranks);
+    // Rank processes and shard windows record concurrently, so each shard
+    // gets its own ring; the shard hooks point whichever worker thread runs
+    // a window at that shard's recorder. Content per shard is a function of
+    // that shard's (deterministic) event sequence — worker count invisible.
+    shard_recorders_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
+    for (int s = 0; s < cfg_.num_ranks; ++s) {
+      auto rec = std::make_unique<obs::FlightRecorder>();
+      if (cfg_.run.trace_enabled()) rec->enable(trace_capacity);
+      shard_recorders_.push_back(std::move(rec));
+    }
+    shard_prev_bindings_.assign(static_cast<std::size_t>(cfg_.num_ranks),
+                                nullptr);
+    sharded_->set_shard_hooks(
+        [this](std::size_t s) {
+          shard_prev_bindings_[s] =
+              obs::bind_recorder(shard_recorders_[s].get());
+        },
+        [this](std::size_t s) { obs::bind_recorder(shard_prev_bindings_[s]); });
+  } else {
+    serial_ = std::make_unique<sim::Engine>(cfg_.scheduler);
+    fabric_ = std::make_unique<ib::Fabric>(*serial_, cfg_.fabric,
+                                           cfg_.num_ranks);
+  }
 
   metrics_.add_source("engine.", [this](const obs::MetricsRegistry::EmitFn& e) {
-    engine_.perf_stats().visit(e);
+    if (sharded_ != nullptr) {
+      sharded_->aggregate_perf().visit(e);
+      sharded_->stats().visit(e);
+    } else {
+      serial_->perf_stats().visit(e);
+    }
   });
   metrics_.add_source("fabric.", [this](const obs::MetricsRegistry::EmitFn& e) {
     fabric_->stats().visit(e);
@@ -76,7 +117,7 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
     fabric_->msg_pool_stats().visit(e);
   });
   metrics_.add_source("latency.", [this](const obs::MetricsRegistry::EmitFn& e) {
-    recorder_.latency().visit(e);
+    merged_latency().visit(e);
   });
 
   devices_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
@@ -95,6 +136,59 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
 }
 
 World::~World() { obs::bind_recorder(prev_recorder_); }
+
+std::uint64_t World::executed_events() const noexcept {
+  return sharded_ != nullptr ? sharded_->total_executed()
+                             : serial_->executed_events();
+}
+
+std::size_t World::pending_events() const noexcept {
+  if (sharded_ == nullptr) return serial_->pending_events();
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < sharded_->shard_count(); ++s) {
+    n += sharded_->shard(s).pending_events();
+  }
+  return n;
+}
+
+void World::set_event_watchpoint(std::uint64_t executed,
+                                 std::function<void()> fn) {
+  if (sharded_ != nullptr) {
+    sharded_->set_watchpoint(executed, std::move(fn));
+  } else {
+    serial_->set_watchpoint(executed, std::move(fn));
+  }
+}
+
+void World::serialize_engine_state(util::serial::BufWriter& w) const {
+  if (sharded_ != nullptr) {
+    w.u32(static_cast<std::uint32_t>(sharded_->shard_count()));
+    for (std::size_t s = 0; s < sharded_->shard_count(); ++s) {
+      sharded_->shard(s).serialize_state(w);
+    }
+  } else {
+    w.u32(1);
+    serial_->serialize_state(w);
+  }
+}
+
+void World::serialize_trace_state(util::serial::BufWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(1 + shard_recorders_.size()));
+  recorder_.serialize_state(w);
+  for (const auto& rec : shard_recorders_) rec->serialize_state(w);
+}
+
+obs::FlightRecorder World::merged_trace() const {
+  obs::FlightRecorder out = recorder_;
+  for (const auto& rec : shard_recorders_) out.absorb(*rec);
+  return out;
+}
+
+obs::LatencyBreakdown World::merged_latency() const {
+  obs::LatencyBreakdown out = recorder_.latency();
+  for (const auto& rec : shard_recorders_) out.merge(rec->latency());
+  return out;
+}
 
 void World::wire_pair(Rank a, Rank b) {
   ib::QueuePair& qa = device(a).create_endpoint(b);
@@ -157,16 +251,22 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
   for (Rank r = 0; r < cfg_.num_ranks; ++r) {
     const auto& body = bodies[static_cast<std::size_t>(r)];
     procs.push_back(std::make_unique<sim::Process>(
-        engine_, "rank" + std::to_string(r), [this, r, &body, &finish](sim::Process& p) {
+        engine_for(r), "rank" + std::to_string(r),
+        [this, r, &body, &finish](sim::Process& p) {
           // Rank bodies run on their own OS thread; point that thread's
-          // recorder binding at this world (the thread is born and dies
-          // inside this run, so nothing needs restoring).
-          obs::bind_recorder(&recorder_);
+          // recorder binding at this world — in a sharded world at the
+          // rank's shard recorder, since rank threads of different shards
+          // record concurrently (the thread is born and dies inside this
+          // run, so nothing needs restoring).
+          obs::bind_recorder(sharded_ != nullptr
+                                 ? shard_recorders_[static_cast<std::size_t>(r)]
+                                       .get()
+                                 : &recorder_);
           Device& dev = device(r);
           dev.bind_process(p);
           Communicator comm(*this, dev, p);
           body(comm);
-          finish[static_cast<std::size_t>(r)] = engine_.now();
+          finish[static_cast<std::size_t>(r)] = engine_for(r).now();
           // Finalize barrier (as MPI_Finalize implies): keeps every rank
           // progressing until all are done, so trailing control messages
           // (e.g. a last ECM) still find buffers and get consumed instead
@@ -185,18 +285,28 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
 
   // Safety net against modeled livelocks (e.g. infinite RNR retry against
   // a stopped rank): bound the simulated time.
-  engine_.run_until(sim::TimePoint(cfg_.max_sim_time));
+  if (sharded_ != nullptr) {
+    sharded_->run_until(sim::TimePoint(cfg_.max_sim_time));
+  } else {
+    serial_->run_until(sim::TimePoint(cfg_.max_sim_time));
+  }
 
   if (abort_requested_) {
     // Simulated crash (World::abort_run): kill the rank processes where
     // they stand and report the time reached — exactly what a process
     // death mid-flight leaves behind. No deadlock diagnosis, no exports.
+    // A sharded abort lands at a window barrier, so shard clocks agree to
+    // within a lookahead; report the furthest one.
     procs.clear();
-    elapsed_ = engine_.now();
+    sim::TimePoint reached{0};
+    for (Rank r = 0; r < cfg_.num_ranks; ++r) {
+      reached = std::max(reached, engine_for(r).now());
+    }
+    elapsed_ = reached;
     return elapsed_;
   }
 
-  if (engine_.pending_events() > 0) {
+  if (pending_events() > 0) {
     throw DeadlockError("simulation exceeded max_sim_time (livelock?)");
   }
 
@@ -221,14 +331,17 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
   if (!cfg_.run.metrics_path.empty()) {
     metrics_.snapshot().write_json(cfg_.run.metrics_path);
   }
-  if (!cfg_.run.trace_path.empty()) {
-    if (!recorder_.export_chrome_trace(cfg_.run.trace_path)) {
+  if (!cfg_.run.trace_path.empty() || !cfg_.run.trace_csv_path.empty()) {
+    // Exports read the world-ordered union of rings (== recorder_ itself in
+    // a serial world; the copy is once per run, not per event).
+    const obs::FlightRecorder merged = merged_trace();
+    if (!cfg_.run.trace_path.empty() &&
+        !merged.export_chrome_trace(cfg_.run.trace_path)) {
       util::Logger::write(util::LogLevel::error, "obs",
                           "cannot write trace file " + cfg_.run.trace_path);
     }
-  }
-  if (!cfg_.run.trace_csv_path.empty()) {
-    if (!recorder_.export_credit_csv(cfg_.run.trace_csv_path)) {
+    if (!cfg_.run.trace_csv_path.empty() &&
+        !merged.export_credit_csv(cfg_.run.trace_csv_path)) {
       util::Logger::write(util::LogLevel::error, "obs",
                           "cannot write credit CSV " + cfg_.run.trace_csv_path);
     }

@@ -4,6 +4,7 @@
 // report.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -21,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded.hpp"
 
 namespace mvflow::mpi {
 
@@ -34,6 +36,19 @@ struct WorldConfig {
   /// Lazily create connections on first communication (Wu et al. [23];
   /// composes with the flow-control schemes).
   bool on_demand_connections = false;
+
+  /// Engine parallelism (DESIGN.md §14). 0 runs the single serial engine —
+  /// the golden reference every result is defined against. N > 0 runs one
+  /// engine shard per rank, executed by min(N, num_ranks) worker threads
+  /// under the conservative lookahead window protocol; results are
+  /// bit-identical across every N > 0 (the worker count only decides which
+  /// OS thread runs a shard), and the serial engine stays the reference.
+  /// Defaults to the one-time $MVFLOW_ENGINE_THREADS snapshot.
+  int engine_threads = sim::default_engine_threads();
+  /// Pending-set scheduler for every engine/shard; defaulted from the
+  /// one-time $MVFLOW_SCHEDULER snapshot. Never changes results, only
+  /// wall-clock (scheduler.hpp).
+  sim::SchedKind scheduler = sim::default_sched_kind();
 
   /// Upper bound on simulated time; exceeding it is reported as a deadlock
   /// (protects against infinite hardware retry loops in the modeled system).
@@ -101,20 +116,62 @@ class World {
   /// Run the registered workload (set_workload must have been called).
   sim::Duration run_workload();
 
-  /// Crash the simulation at the next event boundary: the engine stops,
-  /// run() kills every rank process still blocked mid-call and returns the
-  /// elapsed time so far (no deadlock diagnosis, no exports). This is the
-  /// churn harness's "kill -9 mid-flight" — the snapshot written *before*
-  /// the abort is the state a restart resumes from.
+  /// Crash the simulation at the next event boundary (serial) or window
+  /// barrier (sharded): run() kills every rank process still blocked
+  /// mid-call and returns the elapsed time so far (no deadlock diagnosis,
+  /// no exports). This is the churn harness's "kill -9 mid-flight" — the
+  /// snapshot written *before* the abort is the state a restart resumes
+  /// from.
   void abort_run() {
     abort_requested_ = true;
-    engine_.stop();
+    if (sharded_ != nullptr) {
+      sharded_->request_stop();
+    } else {
+      serial_->stop();
+    }
   }
   bool aborted() const noexcept { return abort_requested_; }
 
   const WorldConfig& config() const noexcept { return cfg_; }
   int num_ranks() const noexcept { return cfg_.num_ranks; }
-  sim::Engine& engine() noexcept { return engine_; }
+
+  /// True when this world runs the sharded engine (engine_threads > 0).
+  bool is_sharded() const noexcept { return sharded_ != nullptr; }
+  /// The engine rank r's node-local work runs on: its shard in a sharded
+  /// world, the one serial engine otherwise.
+  sim::Engine& engine_for(Rank r) noexcept {
+    return sharded_ != nullptr ? sharded_->shard(static_cast<std::size_t>(r))
+                               : *serial_;
+  }
+  /// Rank 0's engine / the serial engine. Callers acting for a specific
+  /// rank use engine_for; world-global questions (executed counts,
+  /// watchpoints, pending events) use the wrappers below, which aggregate
+  /// across shards.
+  sim::Engine& engine() noexcept { return engine_for(0); }
+  /// Non-null in sharded worlds.
+  sim::ShardedEngine* sharded_engine() noexcept { return sharded_.get(); }
+
+  /// Events executed across the whole world (sum over shards).
+  std::uint64_t executed_events() const noexcept;
+  /// Live pending events across the whole world (sum over shards).
+  std::size_t pending_events() const noexcept;
+  /// Run `fn` once executed_events() reaches `executed`: at an exact event
+  /// boundary in serial worlds, at the first window barrier where the total
+  /// reaches it in sharded worlds (between windows every shard is quiescent
+  /// and cross-shard state fully applied — the only globally consistent
+  /// instants a parallel run has). The checkpoint layer arms its capture,
+  /// audit, and kill hooks through this.
+  void set_event_watchpoint(std::uint64_t executed, std::function<void()> fn);
+  /// Engine section of a snapshot: shard count, then each engine's
+  /// scheduler-agnostic dispatch state. Serial worlds write count 1 — a
+  /// serial snapshot and a sharded one are deliberately *different* bytes,
+  /// because their event interleavings genuinely differ; within sharded
+  /// worlds the bytes are identical at every worker count.
+  void serialize_engine_state(util::serial::BufWriter& w) const;
+  /// Trace section of a snapshot: the world recorder plus each shard
+  /// recorder, in shard order.
+  void serialize_trace_state(util::serial::BufWriter& w) const;
+
   ib::Fabric& fabric() noexcept { return *fabric_; }
   Device& device(Rank r) { return *devices_.at(static_cast<std::size_t>(r)); }
 
@@ -142,16 +199,40 @@ class World {
   /// current thread's recorder and run() rebinds it on the running thread
   /// and every rank's process thread. Armed automatically when the run
   /// config requests a trace export; tests may enable() it directly.
+  /// Sharded worlds additionally keep one recorder per shard (rank threads
+  /// and shard windows record concurrently) — this one then holds only
+  /// coordinator-context events, and merged_trace() presents the union.
   obs::FlightRecorder& recorder() noexcept { return recorder_; }
+  /// Shard s's recorder (sharded worlds only).
+  obs::FlightRecorder& shard_recorder(std::size_t s) {
+    return *shard_recorders_.at(s);
+  }
+
+  /// One world-ordered trace: the world recorder with every shard recorder
+  /// absorbed in shard order (a plain copy of recorder() in serial worlds).
+  /// What the trace/CSV exports and trace-reading tests should consume.
+  obs::FlightRecorder merged_trace() const;
+  /// Latency accumulators summed over the world and shard recorders; the
+  /// "latency." metrics source emits this.
+  obs::LatencyBreakdown merged_latency() const;
 
  private:
   WorldConfig cfg_;
-  sim::Engine engine_;
+  // Exactly one of these two is non-null for the world's lifetime,
+  // according to cfg_.engine_threads.
+  std::unique_ptr<sim::Engine> serial_;
+  std::unique_ptr<sim::ShardedEngine> sharded_;
   // Declared before fabric_/devices_: sources capture pointers into those
   // objects, and member order guarantees the registry outlives none of them
   // while they can still be snapshotted.
   obs::MetricsRegistry metrics_;
   obs::FlightRecorder recorder_;
+  /// Sharded worlds: recorder_[s] for shard s, bound by the shard hooks on
+  /// whichever worker thread runs a window and by rank s's process thread.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> shard_recorders_;
+  /// Per-shard saved previous binding for the enter/exit hooks (only the
+  /// worker currently running shard s touches slot s).
+  std::vector<obs::FlightRecorder*> shard_prev_bindings_;
   /// Recorder bound on the constructing thread before this world; restored
   /// by the destructor (worlds nest strictly on a given thread).
   obs::FlightRecorder* prev_recorder_ = nullptr;

@@ -49,7 +49,7 @@ bool Condition::wait_for(Process& p, Duration timeout) {
   return w->notified;
 }
 
-void Condition::notify_all() {
+void Condition::notify_all_slow() {
   auto pending = std::move(waiters_);
   waiters_.clear();
   for (auto& w : pending) {
@@ -59,7 +59,7 @@ void Condition::notify_all() {
   }
 }
 
-void Condition::notify_one() {
+void Condition::notify_one_slow() {
   while (!waiters_.empty()) {
     auto w = waiters_.front();
     waiters_.pop_front();

@@ -25,10 +25,17 @@ class Condition {
   bool wait_for(Process& p, Duration timeout);
 
   /// Wake every currently blocked process (as events at the current time).
-  void notify_all();
+  /// The no-waiter case is the common one on the hot path (a completion
+  /// queue notifies per entry, pollers rarely block), so it short-circuits
+  /// inline before the out-of-line wake loop.
+  void notify_all() {
+    if (!waiters_.empty()) notify_all_slow();
+  }
 
   /// Wake the longest-waiting blocked process, if any.
-  void notify_one();
+  void notify_one() {
+    if (!waiters_.empty()) notify_one_slow();
+  }
 
   std::size_t waiter_count() const noexcept { return waiters_.size(); }
 
@@ -39,6 +46,8 @@ class Condition {
     bool abandoned = false;  // waiter timed out / unwound; skip on notify
   };
   std::shared_ptr<Waiter> enqueue(Process& p);
+  void notify_all_slow();
+  void notify_one_slow();
 
   Engine& engine_;
   std::list<std::shared_ptr<Waiter>> waiters_;

@@ -45,7 +45,7 @@ RegistryShard& shard_for(const Engine* e) noexcept {
 
 }  // namespace
 
-Engine::Engine() {
+Engine::Engine(SchedKind kind) : pq_(kind) {
   {
     RegistryShard& s = shard_for(this);
     std::lock_guard<std::mutex> lock(s.mu);
@@ -77,14 +77,7 @@ bool Engine::is_live(const Engine* e) noexcept {
   return std::find(s.engines.begin(), s.engines.end(), e) != s.engines.end();
 }
 
-std::uint32_t Engine::acquire_slot() {
-  if (free_head_ != kNone) {
-    const std::uint32_t slot = free_head_;
-    free_head_ = node(slot).next_free;
-    node(slot).next_free = kNone;
-    ++perf_.pool_reuses;
-    return slot;
-  }
+std::uint32_t Engine::acquire_slot_grow() {
   ++perf_.pool_allocs;
   if (slab_size_ == chunks_.size() * kChunkSize) {
     chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
@@ -100,56 +93,8 @@ void Engine::release_slot(std::uint32_t slot) noexcept {
   free_head_ = slot;
 }
 
-void Engine::heap_push(HeapEntry e) {
-  heap_.push_back(e);
-  sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
-  perf_.peak_heap_depth = std::max(perf_.peak_heap_depth, heap_.size());
-}
-
-// The heap is 4-ary: half the levels of a binary heap, and a node's four
-// children span ~1.5 cache lines, so the pop-path sift_down (the engine's
-// hottest loop) takes far fewer misses. Arity never affects dispatch
-// order — pops always take the strict (t, seq) minimum.
-void Engine::sift_up(std::uint32_t pos) {
-  const HeapEntry e = heap_[pos];
-  while (pos > 0) {
-    const std::uint32_t parent = (pos - 1) / 4;
-    if (!before(e, heap_[parent])) break;
-    heap_[pos] = heap_[parent];
-    pos = parent;
-  }
-  heap_[pos] = e;
-}
-
-void Engine::sift_down(std::uint32_t pos) {
-  const HeapEntry e = heap_[pos];
-  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
-  for (;;) {
-    const std::uint32_t first = 4 * pos + 1;
-    if (first >= n) break;
-    std::uint32_t best = first;
-    const std::uint32_t end = std::min(first + 4, n);
-    for (std::uint32_t c = first + 1; c < end; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
-    }
-    if (!before(heap_[best], e)) break;
-    heap_[pos] = heap_[best];
-    pos = best;
-  }
-  heap_[pos] = e;
-}
-
-void Engine::pop_root() {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    heap_[0] = last;
-    sift_down(0);
-  }
-}
-
-void Engine::require_not_past(TimePoint t) const {
-  util::require(t >= now_, "cannot schedule event in the past");
+void Engine::past_schedule_fail() const {
+  util::require(false, "cannot schedule event in the past");
 }
 
 bool Engine::cancel(std::uint32_t slot, std::uint32_t gen) {
@@ -172,49 +117,16 @@ bool Engine::handle_valid(std::uint32_t slot, std::uint32_t gen) const noexcept 
   return slot < slab_size_ && node(slot).gen == gen;
 }
 
-bool Engine::top_live() {
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_[0];
-    if (node(top.slot).gen == top.gen) return true;
-    pop_root();  // reap a cancelled entry
-    --zombies_;
-  }
-  return false;
-}
-
-void Engine::dispatch_top() {
-  // Returns the fired slot to the freelist after its callback finishes —
-  // even if the callback throws (otherwise the slot would leak).
-  struct FireGuard {
-    Engine* e;
-    std::uint32_t slot;
-    ~FireGuard() {
-      Node& n = e->node(slot);
-      n.fn.reset();
-      n.next_free = e->free_head_;
-      e->free_head_ = slot;
-    }
-  };
-  const HeapEntry top = heap_[0];
-  Node& n = node(top.slot);
-  util::check(top.t >= now_, "event queue went backwards");
-  now_ = top.t;
-  pop_root();
-  // The callback runs in place — its chunk address is stable even if it
-  // schedules events that grow the slab. The generation is bumped first so
-  // the event's own handle already reads fired (cancelling yourself is a
-  // no-op), but the slot joins the freelist only after the callback
-  // returns, so nothing can emplace over the still-executing closure.
-  ++n.gen;
-  ++perf_.executed;
-  FireGuard guard{this, top.slot};
-  n.fn();
-}
-
 bool Engine::dispatch_one() {
-  if (!top_live()) return false;
-  dispatch_top();
+  SchedEntry top;
+  if (!peek_live(top)) return false;
+  fire_entry(top);
   return true;
+}
+
+TimePoint Engine::next_event_time() {
+  SchedEntry top;
+  return peek_live(top) ? top.t : TimePoint::max();
 }
 
 void Engine::set_watchpoint(std::uint64_t executed, std::function<void()> fn) {
@@ -251,8 +163,9 @@ std::size_t Engine::run() {
   running_ = true;
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_ && top_live()) {
-    dispatch_top();
+  SchedEntry top;
+  while (!stopped_ && peek_live(top)) {
+    fire_entry(top);
     ++n;
     if (perf_.executed >= next_watch_) fire_watchpoints();
   }
@@ -270,10 +183,11 @@ std::size_t Engine::run_until(TimePoint t) {
   running_ = true;
   stopped_ = false;
   std::size_t n = 0;
-  // top_live() first: a zombie at the top must not gate (or satisfy) the
-  // time check — only the earliest *live* event's time matters.
-  while (!stopped_ && top_live() && heap_[0].t <= t) {
-    dispatch_top();
+  // peek_live() first: a zombie at the front must not gate (or satisfy)
+  // the time check — only the earliest *live* event's time matters.
+  SchedEntry top;
+  while (!stopped_ && peek_live(top) && top.t <= t) {
+    fire_entry(top);
     ++n;
     if (perf_.executed >= next_watch_) fire_watchpoints();
   }
@@ -291,19 +205,32 @@ void Engine::serialize_state(util::serial::BufWriter& w) const {
   w.i64(now_.count());
   w.u64(next_seq_);
   w.u32(slab_size_);
-  w.u64(zombies_);
-  // Perf counters: deterministic across identical replays, so they belong
-  // in the audit (a divergence here means the replay did different work).
+  // Perf counters: deterministic across identical replays *and* across
+  // schedulers (dispatch order is the same strict (t, seq) sequence under
+  // any of them), so they belong in the audit — a divergence here means
+  // the replay did different work. Counters that depend on internal
+  // scheduler behavior (peak depth, dead-pop/batch accounting) are
+  // deliberately excluded.
   w.u64(perf_.scheduled);
   w.u64(perf_.executed);
   w.u64(perf_.cancelled_before_fire);
-  w.u64(perf_.peak_heap_depth);
   w.u64(perf_.pool_reuses);
   w.u64(perf_.pool_allocs);
-  // The pending/zombie heap in exact array order: (t, seq) is the total
-  // dispatch order of everything that will happen next.
-  w.u64(heap_.size());
-  for (const HeapEntry& e : heap_) {
+  // The live pending set in canonical (t, seq) order — the total dispatch
+  // order of everything that will happen next. Zombies and internal layout
+  // (heap array order vs calendar buckets) are scheduler details and never
+  // reach the bytes.
+  std::vector<SchedEntry> live;
+  live.reserve(pq_.size());
+  pq_.visit([&](const SchedEntry& e) {
+    if (node(e.slot).gen == e.gen) live.push_back(e);
+  });
+  std::sort(live.begin(), live.end(),
+            [](const SchedEntry& a, const SchedEntry& b) {
+              return sched_before(a, b);
+            });
+  w.u64(live.size());
+  for (const SchedEntry& e : live) {
     w.i64(e.t.count());
     w.u64(e.seq);
     w.u32(e.slot);

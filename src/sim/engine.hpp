@@ -9,6 +9,11 @@
 // freelist-recycled slab, callbacks are stored inline (InplaceFunction),
 // and handles are {slot, generation} pairs with O(1) lazy cancellation and
 // no reference counting. See DESIGN.md §10 for the invariants.
+//
+// The pending set itself sits behind the scheduler seam (scheduler.hpp):
+// a 4-ary heap or a calendar queue, chosen per engine and defaulted from
+// $MVFLOW_SCHEDULER. Both hand out the identical strict (t, seq) order, so
+// the choice is invisible to results — only to wall-clock.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +23,9 @@
 #include <vector>
 
 #include "sim/inplace_function.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "util/check.hpp"
 
 namespace mvflow::util::serial {
 class BufWriter;
@@ -40,6 +47,8 @@ struct EnginePerfStats {
   std::size_t peak_heap_depth = 0;         ///< max simultaneous pending events
   std::uint64_t pool_reuses = 0;   ///< event nodes recycled from the freelist
   std::uint64_t pool_allocs = 0;   ///< event nodes that grew the slab
+  std::uint64_t dead_pops = 0;     ///< lazily-cancelled entries reaped at pop
+  std::size_t max_batch = 0;       ///< largest same-timestamp dispatch run
   double pool_hit_rate() const {
     const double total =
         static_cast<double>(pool_reuses) + static_cast<double>(pool_allocs);
@@ -56,6 +65,8 @@ struct EnginePerfStats {
     f("pool_reuses", static_cast<double>(pool_reuses));
     f("pool_allocs", static_cast<double>(pool_allocs));
     f("pool_hit_rate", pool_hit_rate());
+    f("dead_pops", static_cast<double>(dead_pops));
+    f("max_batch", static_cast<double>(max_batch));
   }
 };
 
@@ -89,10 +100,14 @@ class EventHandle {
 
 class Engine {
  public:
-  Engine();
+  /// `kind` picks the pending-set scheduler; the default is the one-time
+  /// $MVFLOW_SCHEDULER snapshot (heap4 when unset).
+  explicit Engine(SchedKind kind = default_sched_kind());
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
+
+  SchedKind sched_kind() const noexcept { return pq_.kind(); }
 
   /// True while `e` is a constructed, not-yet-destroyed Engine. Backed by a
   /// process-wide registry sharded by engine address (mutex per shard), so
@@ -120,14 +135,15 @@ class Engine {
     Node& n = node(slot);
     n.fn.emplace(std::forward<F>(fn));
     try {
-      heap_push(HeapEntry{t, next_seq_++, slot, n.gen});
+      pq_.push(SchedEntry{t, next_seq_++, slot, n.gen});
     } catch (...) {
-      // heap_ growth hit bad_alloc: put the slot (and its closure's
+      // Scheduler growth hit bad_alloc: put the slot (and its closure's
       // captured resources) back instead of leaking them.
       release_slot(slot);
       throw;
     }
     ++perf_.scheduled;
+    if (pq_.size() > perf_.peak_heap_depth) perf_.peak_heap_depth = pq_.size();
     return EventHandle(this, slot, n.gen);
   }
   /// Schedule `fn` to run `d` after the current time.
@@ -148,11 +164,16 @@ class Engine {
   /// Request that run() return at the next event boundary.
   void stop() noexcept { stopped_ = true; }
 
+  /// Time of the earliest live pending event, or TimePoint::max() when the
+  /// queue is empty. Reaps zombies from the front as a side effect. This is
+  /// what the sharded coordinator polls to pick the next window start.
+  TimePoint next_event_time();
+
   std::size_t executed_events() const noexcept {
     return static_cast<std::size_t>(perf_.executed);
   }
   std::size_t pending_events() const noexcept {
-    return heap_.size() - zombies_;  // zombies are cancelled, not pending
+    return pq_.size() - zombies_;  // zombies are cancelled, not pending
   }
 
   const EnginePerfStats& perf_stats() const noexcept { return perf_; }
@@ -167,12 +188,16 @@ class Engine {
   /// (DESIGN.md §13): "checkpoint at k events" arms a watchpoint at k.
   void set_watchpoint(std::uint64_t executed, std::function<void()> fn);
 
-  /// Serialize the engine's complete scheduler state — clock, sequence
-  /// counter, the (t, seq, slot, gen) heap in exact array order, per-slot
-  /// generations, the freelist chain, and the perf counters — for the
-  /// snapshot's bit-identical restore audit. Event *callbacks* are not
-  /// serialized (closures are reconstructed by deterministic replay); this
-  /// captures every byte of scheduler state that orders them.
+  /// Serialize the engine's dispatch state — clock, sequence counter, the
+  /// live pending set in canonical (t, seq) order, per-slot generations,
+  /// the freelist chain, and the scheduler-invariant perf counters — for
+  /// the snapshot's bit-identical restore audit. The encoding is
+  /// deliberately scheduler-agnostic: internal layout (heap array order,
+  /// calendar buckets, unreaped zombies) never leaks into the bytes, so a
+  /// snapshot taken under one scheduler audits cleanly against a replay
+  /// under another. Event *callbacks* are not serialized (closures are
+  /// reconstructed by deterministic replay); this captures every byte of
+  /// state that orders them.
   void serialize_state(util::serial::BufWriter& w) const;
 
   /// Processes register themselves; used to detect "simulation ended with
@@ -186,7 +211,12 @@ class Engine {
   void register_process(Process* p);
   void unregister_process(Process* p);
   void record_error(std::exception_ptr e);
-  void require_not_past(TimePoint t) const;
+  /// One compare inline (schedule_at is the hottest entry point); the
+  /// throw machinery stays out of line.
+  void require_not_past(TimePoint t) const {
+    if (t < now_) past_schedule_fail();
+  }
+  [[noreturn]] void past_schedule_fail() const;
 
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
@@ -216,51 +246,50 @@ class Engine {
     return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
   }
 
-  /// Min-heap element: ordering key, slab slot, and the slot generation it
-  /// was scheduled under. Cancellation is lazy — it releases the slot (O(1))
-  /// and leaves the entry in the heap as a zombie whose stamped generation
-  /// no longer matches; the dispatcher reaps zombies when they surface at
-  /// the top. This keeps the heap un-indexed: sifting never writes
-  /// back-pointers into the slab, so the sift loops touch only this
-  /// contiguous array. Dispatch order of live events is untouched — a
-  /// cancelled event fires in neither scheme.
-  struct HeapEntry {
-    TimePoint t{0};
-    std::uint64_t seq = 0;
-    std::uint32_t slot = 0;
-    std::uint32_t gen = 0;
-  };
-
   bool dispatch_one();  // pop + run one event; false if queue empty
 
-  std::uint32_t acquire_slot();
+  /// Freelist pop inline (steady state is ~100% pool hits); slab growth
+  /// stays out of line.
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNone) {
+      const std::uint32_t slot = free_head_;
+      Node& n = node(slot);
+      free_head_ = n.next_free;
+      n.next_free = kNone;
+      ++perf_.pool_reuses;
+      return slot;
+    }
+    return acquire_slot_grow();
+  }
+  std::uint32_t acquire_slot_grow();
   void release_slot(std::uint32_t slot) noexcept;
   bool cancel(std::uint32_t slot, std::uint32_t gen);
   bool handle_valid(std::uint32_t slot, std::uint32_t gen) const noexcept;
 
-  /// True when `a` fires strictly before `b` ((t, seq) order).
-  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
-    if (a.t != b.t) return a.t < b.t;
-    return a.seq < b.seq;
-  }
-  void heap_push(HeapEntry e);
-  void pop_root();
-  void sift_up(std::uint32_t pos);
-  void sift_down(std::uint32_t pos);
-  /// Reap zombies until the top entry is live; false when the heap drains.
-  bool top_live();
-  void dispatch_top();  // pop + run the (live) top event
+  /// Reap zombies at the front until the minimum entry is live; copies it
+  /// to `out` (still queued) and returns true, or false when the queue
+  /// drains. Cancellation is lazy — cancel() releases the slot (O(1)) and
+  /// leaves the scheduler entry behind as a zombie whose stamped
+  /// generation no longer matches; reaping it here counts a dead_pop.
+  /// Dispatch order of live events is untouched — a cancelled event fires
+  /// in neither scheme.
+  bool peek_live(SchedEntry& out);
+  /// Pop `out` (the entry peek_live just surfaced) and run its callback.
+  void fire_entry(const SchedEntry& top);
   void fire_watchpoints();
   void recompute_next_watch() noexcept;
 
   std::vector<std::unique_ptr<Node[]>> chunks_;  // freelist-recycled slab
   std::uint32_t slab_size_ = 0;   // slots handed out so far (all chunks)
-  std::vector<HeapEntry> heap_;   // pending + zombie events, (t, seq) heap
+  PendingQueue pq_;               // pending + zombie events, (t, seq) order
   std::uint32_t free_head_ = kNone;   // freelist of released slots
   std::size_t zombies_ = 0;           // cancelled entries not yet reaped
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
   EnginePerfStats perf_;
+  /// Same-timestamp dispatch-run tracking for perf_.max_batch.
+  TimePoint last_fired_{Duration::min()};
+  std::size_t cur_batch_ = 0;
   bool stopped_ = false;
   bool running_ = false;
   std::vector<Process*> processes_;
@@ -271,6 +300,61 @@ class Engine {
   std::vector<std::pair<std::uint64_t, std::function<void()>>> watchpoints_;
   std::uint64_t next_watch_ = ~0ull;
 };
+
+// peek_live/fire_entry are defined here so they inline into the three
+// dispatch loops (run, run_until, dispatch_one) — together they are the
+// per-event overhead floor, and keeping `top` in registers across the
+// peek → fire handoff is worth several percent of whole-sim throughput.
+inline bool Engine::peek_live(SchedEntry& out) {
+  for (;;) {
+    const SchedEntry* top = pq_.peek();
+    if (top == nullptr) return false;
+    if (node(top->slot).gen == top->gen) {
+      out = *top;
+      return true;
+    }
+    pq_.pop_min();  // reap a cancelled entry
+    --zombies_;
+    ++perf_.dead_pops;
+  }
+}
+
+inline void Engine::fire_entry(const SchedEntry& top) {
+  // Returns the fired slot to the freelist after its callback finishes —
+  // even if the callback throws (otherwise the slot would leak).
+  struct FireGuard {
+    Engine* e;
+    std::uint32_t slot;
+    ~FireGuard() {
+      Node& n = e->node(slot);
+      n.fn.reset();
+      n.next_free = e->free_head_;
+      e->free_head_ = slot;
+    }
+  };
+  Node& n = node(top.slot);
+  util::check(top.t >= now_, "event queue went backwards");
+  now_ = top.t;
+  // Same-timestamp batch accounting: dispatch runs at one t are the unit
+  // the calendar queue serves O(1) from a single bucket.
+  if (top.t == last_fired_) {
+    ++cur_batch_;
+  } else {
+    last_fired_ = top.t;
+    cur_batch_ = 1;
+  }
+  if (cur_batch_ > perf_.max_batch) perf_.max_batch = cur_batch_;
+  pq_.pop_min();  // peek_live just surfaced `top`; the pop is O(1)-cached
+  // The callback runs in place — its chunk address is stable even if it
+  // schedules events that grow the slab. The generation is bumped first so
+  // the event's own handle already reads fired (cancelling yourself is a
+  // no-op), but the slot joins the freelist only after the callback
+  // returns, so nothing can emplace over the still-executing closure.
+  ++n.gen;
+  ++perf_.executed;
+  FireGuard guard{this, top.slot};
+  n.fn();
+}
 
 inline void EventHandle::cancel() {
   if (engine_ != nullptr && Engine::is_live(engine_))

@@ -1,0 +1,132 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace mvflow::sim {
+
+std::string_view to_string(SchedKind k) noexcept {
+  return k == SchedKind::heap4 ? "heap4" : "calendar";
+}
+
+bool parse_sched_kind(std::string_view name, SchedKind& out) noexcept {
+  if (name == "heap4") {
+    out = SchedKind::heap4;
+    return true;
+  }
+  if (name == "calendar") {
+    out = SchedKind::calendar;
+    return true;
+  }
+  return false;
+}
+
+SchedKind default_sched_kind() noexcept {
+  static const SchedKind kind = [] {
+    SchedKind k = SchedKind::heap4;
+    if (const char* env = std::getenv("MVFLOW_SCHEDULER")) {
+      parse_sched_kind(env, k);
+    }
+    return k;
+  }();
+  return kind;
+}
+
+void FourAryHeap::sift_up(std::uint32_t pos) {
+  const SchedEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!sched_before(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void CalendarQueue::find_min() {
+  // One lap over the calendar starting at the rotor. Every entry's time is
+  // >= last_t_ (pops take the global minimum, pushes below the rotor pull
+  // it back), so the first bucket that holds an entry belonging to the
+  // current lap holds the minimum — pick the (t, seq) least among those.
+  std::size_t idx = bucket_of(TimePoint(last_t_));
+  std::int64_t lap_end = ((last_t_ >> shift_) + 1) << shift_;
+  for (std::size_t scanned = 0; scanned < nbuckets_; ++scanned) {
+    const std::vector<SchedEntry>& b = buckets_[idx];
+    bool found = false;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (b[i].t.count() < lap_end && (!found || sched_before(b[i], cached_))) {
+        cached_ = b[i];
+        cache_bucket_ = idx;
+        cache_pos_ = i;
+        found = true;
+      }
+    }
+    if (found) {
+      cache_valid_ = true;
+      return;
+    }
+    idx = (idx + 1) & (nbuckets_ - 1);
+    lap_end += width();
+  }
+  // Sparse far future: nothing within one lap of the rotor. Take the global
+  // minimum directly and jump the rotor to it, so a pending set that is
+  // mostly idle timers costs one O(n) scan instead of spinning laps.
+  bool found = false;
+  for (std::size_t bi = 0; bi < nbuckets_; ++bi) {
+    const std::vector<SchedEntry>& b = buckets_[bi];
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (!found || sched_before(b[i], cached_)) {
+        cached_ = b[i];
+        cache_bucket_ = bi;
+        cache_pos_ = i;
+        found = true;
+      }
+    }
+  }
+  last_t_ = cached_.t.count();
+  cache_valid_ = true;
+}
+
+void CalendarQueue::resize(std::size_t nbuckets) {
+  const Duration w = estimate_width();
+  std::vector<std::vector<SchedEntry>> old = std::move(buckets_);
+  const std::size_t keep = size_;
+  rebuild(nbuckets, w);
+  for (const std::vector<SchedEntry>& b : old) {
+    for (const SchedEntry& e : b) {
+      buckets_[bucket_of(e.t)].push_back(e);
+    }
+  }
+  size_ = keep;
+  cache_valid_ = false;  // positions changed; next peek re-finds
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets, Duration width) {
+  buckets_.assign(nbuckets, {});
+  nbuckets_ = nbuckets;
+  // Round the width up to a power of two (bucket_of is shift+mask).
+  const std::int64_t w = std::max<std::int64_t>(width.count(), 1);
+  unsigned s = 0;
+  while (s < 62 && (std::int64_t{1} << s) < w) ++s;
+  shift_ = s;
+}
+
+Duration CalendarQueue::estimate_width() const {
+  // Aim for ~1 entry per bucket over the occupied span, with 2x slack so a
+  // mildly uneven distribution still averages under one probe per bucket.
+  if (size_ < 2) return Duration(width());
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+  for (const std::vector<SchedEntry>& b : buckets_) {
+    for (const SchedEntry& e : b) {
+      lo = std::min(lo, e.t.count());
+      hi = std::max(hi, e.t.count());
+    }
+  }
+  const std::int64_t w =
+      2 * ((hi - lo) / static_cast<std::int64_t>(size_));
+  return Duration(std::max<std::int64_t>(w, 1));
+}
+
+}  // namespace mvflow::sim

@@ -1,0 +1,261 @@
+// Swappable event schedulers (DESIGN.md §14).
+//
+// The engine dispatches strictly in (time, sequence) order; *how* the
+// pending set is organized to hand out that order is a pluggable choice:
+//
+//   - FourAryHeap: the inline 4-ary min-heap from the allocation-free
+//     rework — O(log n) push/pop, cache-friendly sift loops, the safe
+//     default at any pending-set size.
+//   - CalendarQueue: classic Brown calendar queue — time-bucketed open
+//     hashing with a rotating "today" pointer, amortized O(1) push/pop
+//     when the pending set is dense in time, self-resizing bucket count
+//     and width when the distribution drifts.
+//
+// Both produce the exact same pop order (the strict (t, seq) minimum), so
+// swapping schedulers can never change simulation results — the randomized
+// differential tests in sim_scheduler_test.cpp are the executable form of
+// that claim, and bench_scheduler records where the crossover actually is
+// instead of guessing. Selection: Engine's constructor argument, defaulted
+// from $MVFLOW_SCHEDULER ("heap4" | "calendar").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mvflow::sim {
+
+/// Ordering key plus slab reference for one pending event. The key lives
+/// here — not in the event node — so scheduler probes stay inside the
+/// scheduler's own contiguous storage (see DESIGN.md §10).
+struct SchedEntry {
+  TimePoint t{0};
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+};
+
+/// True when `a` fires strictly before `b`. seq is unique per engine, so
+/// this is a total order — there are no ties to break arbitrarily.
+inline bool sched_before(const SchedEntry& a, const SchedEntry& b) noexcept {
+  if (a.t != b.t) return a.t < b.t;
+  return a.seq < b.seq;
+}
+
+enum class SchedKind : std::uint8_t { heap4 = 0, calendar = 1 };
+
+std::string_view to_string(SchedKind k) noexcept;
+/// Parse "heap4" / "calendar" (case-sensitive); false leaves `out` alone.
+bool parse_sched_kind(std::string_view name, SchedKind& out) noexcept;
+/// Process-wide default: one-time $MVFLOW_SCHEDULER snapshot; heap4 when
+/// unset or unparseable (a typo'd env var must not silently change perf
+/// characteristics mid-sweep, so the snapshot is taken exactly once).
+SchedKind default_sched_kind() noexcept;
+
+/// The engine's original scheduler: 4-ary so the pop-path sift touches
+/// half the levels of a binary heap and each node's children span ~1.5
+/// cache lines.
+class FourAryHeap {
+ public:
+  void push(const SchedEntry& e) {
+    heap_.push_back(e);
+    sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+  }
+
+  const SchedEntry* peek() const noexcept {
+    return heap_.empty() ? nullptr : heap_.data();
+  }
+
+  /// Remove the minimum (peek() must have returned non-null).
+  void pop_min() {
+    const SchedEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      sift_down(0);
+    }
+  }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Every entry, in internal array order (serialization sorts anyway).
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    for (const SchedEntry& e : heap_) f(e);
+  }
+
+ private:
+  // Inlining asymmetry, measured: sift_down lives here so it inlines into
+  // the engine's dispatch loop (moving it out of line costs ~25% whole-sim
+  // throughput); sift_up stays out of line because schedule_at is itself
+  // inlined at dozens of call sites and duplicating the sift there bloats
+  // the I-cache for no win.
+  void sift_up(std::uint32_t pos);
+
+  void sift_down(std::uint32_t pos) {
+    const SchedEntry e = heap_[pos];
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      const std::uint32_t first = 4 * pos + 1;
+      if (first >= n) break;
+      std::uint32_t best = first;
+      const std::uint32_t end = first + 4 < n ? first + 4 : n;
+      for (std::uint32_t c = first + 1; c < end; ++c) {
+        if (sched_before(heap_[c], heap_[best])) best = c;
+      }
+      if (!sched_before(heap_[best], e)) break;
+      heap_[pos] = heap_[best];
+      pos = best;
+    }
+    heap_[pos] = e;
+  }
+
+  std::vector<SchedEntry> heap_;
+};
+
+/// Brown's calendar queue. Buckets are unsorted vectors ("open hash on
+/// time"); a pop scans forward from the bucket holding the last popped
+/// timestamp, taking the (t, seq) minimum among entries that belong to the
+/// current one-year lap. Pops are monotone in the engine (time never goes
+/// backwards and pushes are never in the past), which is exactly the
+/// workload calendar queues are O(1) for. A full fruitless lap falls back
+/// to a direct global-minimum scan and jumps the rotor there, so sparse
+/// far-future pending sets (idle retransmit timers) degrade gracefully
+/// instead of spinning.
+class CalendarQueue {
+ public:
+  CalendarQueue() { rebuild(kMinBuckets, Duration(1024)); }
+
+  void push(const SchedEntry& e) {
+    buckets_[bucket_of(e.t)].push_back(e);
+    ++size_;
+    // Keep "every entry >= last_t_" a hard invariant: pops are monotone
+    // for *live* events, but reaping a far-future zombie (a cancelled
+    // retransmit timer surfacing at the front past a run_until cap) moves
+    // the rotor forward of where real traffic resumes — pull it back so
+    // the lap scan never skips an earlier bucket.
+    if (e.t.count() < last_t_) last_t_ = e.t.count();
+    if (cache_valid_ && sched_before(e, cached_)) {
+      // The new entry is the new minimum; repoint the cache at it.
+      cache_bucket_ = bucket_of(e.t);
+      cache_pos_ = buckets_[cache_bucket_].size() - 1;
+      cached_ = e;
+    }
+    if (size_ > (nbuckets_ << 1) && nbuckets_ < kMaxBuckets) {
+      resize(nbuckets_ << 1);
+    }
+  }
+
+  /// Current minimum, or nullptr when empty. The scan result is cached so
+  /// the engine's peek-then-pop pattern pays for one search.
+  const SchedEntry* peek() {
+    if (size_ == 0) return nullptr;
+    if (!cache_valid_) find_min();
+    return &cached_;
+  }
+
+  /// Remove the minimum (peek() must have been called and returned
+  /// non-null since the last mutation).
+  void pop_min() {
+    std::vector<SchedEntry>& b = buckets_[cache_bucket_];
+    b[cache_pos_] = b.back();
+    b.pop_back();
+    --size_;
+    last_t_ = cached_.t.count();  // pops are monotone; the rotor resumes here
+    cache_valid_ = false;
+    if (size_ < (nbuckets_ >> 2) && nbuckets_ > kMinBuckets) {
+      resize(nbuckets_ >> 1);
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    for (const std::vector<SchedEntry>& b : buckets_) {
+      for (const SchedEntry& e : b) f(e);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = 1u << 20;
+
+  /// Bucket width is a power of two, so the time->bucket map is a shift
+  /// and mask — an integer divide here costs ~15% of calendar throughput.
+  std::size_t bucket_of(TimePoint t) const noexcept {
+    return static_cast<std::size_t>(t.count() >> shift_) & (nbuckets_ - 1);
+  }
+  std::int64_t width() const noexcept {
+    return std::int64_t{1} << shift_;
+  }
+
+  void find_min();
+  void resize(std::size_t nbuckets);
+  void rebuild(std::size_t nbuckets, Duration width);
+  Duration estimate_width() const;
+
+  std::vector<std::vector<SchedEntry>> buckets_;
+  std::size_t nbuckets_ = 0;  // power of two
+  unsigned shift_ = 0;        // log2(ns per bucket)
+  std::size_t size_ = 0;
+  std::int64_t last_t_ = 0;  // last popped timestamp (rotor anchor)
+
+  // Cached minimum located by the last find_min()/push().
+  SchedEntry cached_{};
+  std::size_t cache_bucket_ = 0;
+  std::size_t cache_pos_ = 0;
+  bool cache_valid_ = false;
+};
+
+/// The scheduler seam the engine dispatches through. A tagged branch, not
+/// a virtual call: the hot path pays one perfectly-predicted compare, and
+/// both implementations stay inlineable.
+class PendingQueue {
+ public:
+  explicit PendingQueue(SchedKind kind) : kind_(kind) {}
+
+  SchedKind kind() const noexcept { return kind_; }
+
+  void push(const SchedEntry& e) {
+    if (kind_ == SchedKind::heap4) {
+      heap_.push(e);
+    } else {
+      cal_.push(e);
+    }
+  }
+
+  const SchedEntry* peek() {
+    return kind_ == SchedKind::heap4 ? heap_.peek() : cal_.peek();
+  }
+
+  void pop_min() {
+    if (kind_ == SchedKind::heap4) {
+      heap_.pop_min();
+    } else {
+      cal_.pop_min();
+    }
+  }
+
+  std::size_t size() const noexcept {
+    return kind_ == SchedKind::heap4 ? heap_.size() : cal_.size();
+  }
+
+  template <typename Fn>
+  void visit(Fn&& f) const {
+    if (kind_ == SchedKind::heap4) {
+      heap_.visit(f);
+    } else {
+      cal_.visit(f);
+    }
+  }
+
+ private:
+  SchedKind kind_;
+  FourAryHeap heap_;
+  CalendarQueue cal_;
+};
+
+}  // namespace mvflow::sim

@@ -157,7 +157,10 @@ class BufReader {
 // ---------------------------------------------------------------------------
 
 inline constexpr char kMagic[8] = {'M', 'V', 'F', 'L', 'O', 'W', 'C', 'K'};
-inline constexpr std::uint32_t kVersion = 1;
+// v2: engine section switched to the canonical scheduler-agnostic encoding
+// (sorted live pending set, no zombie/layout leakage) and the config
+// section gained the engine-mode fields (threads, scheduler).
+inline constexpr std::uint32_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 4;
 
 struct Section {

@@ -15,6 +15,7 @@
 
 #include "bw_figure.hpp"
 #include "fig_latency.hpp"
+#include "sim/scheduler.hpp"
 
 namespace {
 
@@ -82,4 +83,58 @@ TEST(GoldenDeterminism, Fig3TableBitIdenticalAtJobs8) {
                                     /*blocking=*/true, nullptr, /*jobs=*/8)
           .to_string();
   EXPECT_EQ(fnv1a(text), kFig3GoldenHash) << "fig3 -j8 diverged:\n" << text;
+}
+
+// ---- engine configurations (DESIGN.md §14) ----------------------------
+//
+// The scheduler seam and the sharded engine must also reproduce the serial
+// golden hashes. The calendar queue pops the identical (t, seq) order, so
+// it can never move a byte; the sharded engine agrees with the serial
+// reference on these 2-rank worlds because every switch downlink has a
+// single source shard — the barrier drain order coincides with the serial
+// transmit order. Every (engine_threads, scheduler) combination below must
+// therefore produce the exact same tables the seed engine produced.
+
+namespace {
+constexpr int kHeap4 = static_cast<int>(mvflow::sim::SchedKind::heap4);
+constexpr int kCalendar = static_cast<int>(mvflow::sim::SchedKind::calendar);
+
+std::uint64_t fig2_hash(mvflow::bench::EngineMode mode) {
+  return fnv1a(
+      mvflow::bench::build_fig2_table(/*iters=*/200, nullptr, /*jobs=*/1, mode)
+          .to_string());
+}
+
+std::uint64_t fig3_hash(mvflow::bench::EngineMode mode) {
+  return fnv1a(mvflow::bench::build_bw_table(/*msg_bytes=*/4, /*prepost=*/100,
+                                             /*blocking=*/true, nullptr,
+                                             /*jobs=*/1, mode)
+                   .to_string());
+}
+}  // namespace
+
+TEST(GoldenDeterminism, Fig2CalendarSchedulerBitIdentical) {
+  EXPECT_EQ(fig2_hash({.engine_threads = 0, .scheduler = kCalendar}),
+            kFig2GoldenHash);
+}
+
+TEST(GoldenDeterminism, Fig3CalendarSchedulerBitIdentical) {
+  EXPECT_EQ(fig3_hash({.engine_threads = 0, .scheduler = kCalendar}),
+            kFig3GoldenHash);
+}
+
+TEST(GoldenDeterminism, Fig2ShardedEngineBitIdentical) {
+  EXPECT_EQ(fig2_hash({.engine_threads = 1, .scheduler = kHeap4}),
+            kFig2GoldenHash);
+  EXPECT_EQ(fig2_hash({.engine_threads = 2, .scheduler = kHeap4}),
+            kFig2GoldenHash);
+  EXPECT_EQ(fig2_hash({.engine_threads = 8, .scheduler = kCalendar}),
+            kFig2GoldenHash);
+}
+
+TEST(GoldenDeterminism, Fig3ShardedEngineBitIdentical) {
+  EXPECT_EQ(fig3_hash({.engine_threads = 2, .scheduler = kHeap4}),
+            kFig3GoldenHash);
+  EXPECT_EQ(fig3_hash({.engine_threads = 8, .scheduler = kCalendar}),
+            kFig3GoldenHash);
 }

@@ -1,0 +1,224 @@
+// Randomized differential tests for the scheduler seam (DESIGN.md §14):
+// the 4-ary heap and the calendar queue must hand out the exact same
+// strict (t, seq) pop order under every timestamp distribution the engine
+// can produce — that equivalence is what makes $MVFLOW_SCHEDULER a pure
+// wall-clock knob. Queues are driven the way the engine drives them
+// (peek-then-pop, pushes never behind the last popped time), across
+// distributions chosen to stress each implementation's weak spot: dense
+// uniform traffic (heap sift depth), same-timestamp spikes (calendar
+// bucket scans), and sparse far-future tails (calendar rotor laps).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mvflow::sim;
+
+/// Deterministic splitmix64: tests must not depend on library RNG details.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/// One deterministic op stream applied to both queue kinds; returns the
+/// pop order as (t, seq) pairs. `spread` shapes the push distribution:
+/// the delta past the current virtual clock is below(spread), plus
+/// occasional same-timestamp spikes and rare far-future outliers.
+std::vector<std::pair<std::int64_t, std::uint64_t>> drive(
+    SchedKind kind, std::uint64_t seed, std::size_t target_pending,
+    std::uint64_t spread, int spike_percent, int far_percent) {
+  PendingQueue pq(kind);
+  Rng rng{seed};
+  std::vector<std::pair<std::int64_t, std::uint64_t>> popped;
+  std::uint64_t seq = 0;
+  std::int64_t now = 0;
+  std::int64_t last_push = 0;
+  const std::size_t ops = target_pending * 6;
+  for (std::size_t i = 0; i < ops; ++i) {
+    // Bias pushes while below the target so the queue actually reaches it,
+    // then hover around it with a 50/50 mix.
+    const bool push = pq.size() < target_pending
+                          ? rng.below(100) < 80
+                          : rng.below(100) < 50;
+    if (push || pq.size() == 0) {
+      std::int64_t t;
+      const std::uint64_t roll = rng.below(100);
+      if (roll < static_cast<std::uint64_t>(spike_percent)) {
+        t = last_push;  // same-timestamp burst (calendar bucket pile-up)
+      } else if (roll < static_cast<std::uint64_t>(spike_percent + far_percent)) {
+        t = now + static_cast<std::int64_t>(spread * 1000 + rng.below(spread));
+      } else {
+        t = now + static_cast<std::int64_t>(rng.below(spread));
+      }
+      if (t < now) t = now;  // engine contract: never behind the clock
+      pq.push(SchedEntry{TimePoint(t), seq++, 0, 0});
+      last_push = t;
+    } else {
+      const SchedEntry* top = pq.peek();  // non-null: size() > 0 here
+      popped.emplace_back(top->t.count(), top->seq);
+      now = top->t.count();
+      pq.pop_min();
+    }
+  }
+  while (pq.size() > 0) {
+    const SchedEntry* top = pq.peek();
+    popped.emplace_back(top->t.count(), top->seq);
+    pq.pop_min();
+  }
+  return popped;
+}
+
+void expect_identical_order(std::size_t target_pending, std::uint64_t spread,
+                            int spike_percent, int far_percent) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdecafull}) {
+    const auto heap = drive(SchedKind::heap4, seed, target_pending, spread,
+                            spike_percent, far_percent);
+    const auto cal = drive(SchedKind::calendar, seed, target_pending, spread,
+                           spike_percent, far_percent);
+    ASSERT_EQ(heap.size(), cal.size()) << "seed " << seed;
+    ASSERT_EQ(heap, cal) << "seed " << seed;
+    // The order must be the strict (t, seq) total order, not merely equal.
+    for (std::size_t i = 1; i < heap.size(); ++i) {
+      ASSERT_LT(heap[i - 1], heap[i]) << "pop order not strictly increasing";
+    }
+  }
+}
+
+TEST(SchedulerDifferential, UniformDense) {
+  expect_identical_order(/*target_pending=*/512, /*spread=*/2048,
+                         /*spike_percent=*/0, /*far_percent=*/0);
+}
+
+TEST(SchedulerDifferential, SameTimestampSpikes) {
+  expect_identical_order(512, 256, /*spike_percent=*/40, /*far_percent=*/0);
+}
+
+TEST(SchedulerDifferential, SparseFarFutureTail) {
+  // Mostly near-term events with a far-future tail (idle retransmit
+  // timers): the calendar's fruitless-lap fallback territory.
+  expect_identical_order(64, 100'000, /*spike_percent=*/5, /*far_percent=*/20);
+}
+
+TEST(SchedulerDifferential, TinyPendingSet) {
+  expect_identical_order(4, 128, 10, 10);
+}
+
+TEST(SchedulerDifferential, LargePendingSet) {
+  expect_identical_order(20'000, 1 << 16, 5, 2);
+}
+
+// ---- Engine-level differential: whole-simulation equivalence ----------
+//
+// Drives two engines through an identical self-expanding random workload —
+// events that reschedule themselves, fan out, and cancel earlier timers —
+// and requires the full execution journals and perf counters to match.
+// Cancellation matters here: it exercises the zombie-reaping path, where
+// the two schedulers surface dead entries through the same peek/pop seam.
+
+struct EngineRun {
+  std::vector<std::pair<std::int64_t, int>> journal;  // (fire time, id)
+  std::uint64_t executed = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t dead_pops = 0;
+
+  bool operator==(const EngineRun&) const = default;
+};
+
+EngineRun run_engine(SchedKind kind, std::uint64_t seed) {
+  Engine eng(kind);
+  Rng rng{seed};
+  std::vector<std::pair<std::int64_t, int>> journal;
+  std::vector<EventHandle> timers;
+  int next_id = 0;
+
+  // Fixed-size context so every callback capture is one pointer wide.
+  struct Ctx {
+    Engine* eng;
+    Rng* rng;
+    std::vector<std::pair<std::int64_t, int>>* journal;
+    std::vector<EventHandle>* timers;
+    int* next_id;
+  } ctx{&eng, &rng, &journal, &timers, &next_id};
+
+  struct Step {
+    static void fire(Ctx* c, int id, int depth) {
+      c->journal->emplace_back(c->eng->now().count(), id);
+      if (depth <= 0) return;
+      // Fan out 1-2 children at randomized offsets (including zero-delay
+      // same-timestamp children), park a cancellable timer, and cancel a
+      // random earlier timer about half the time.
+      const int kids = 1 + static_cast<int>(c->rng->below(2));
+      for (int k = 0; k < kids; ++k) {
+        const Duration d(static_cast<std::int64_t>(c->rng->below(300)));
+        const int id2 = (*c->next_id)++;
+        Ctx* cc = c;
+        c->eng->schedule_after(
+            d, [cc, id2, depth] { fire(cc, id2, depth - 1); });
+      }
+      const int tid = (*c->next_id)++;
+      Ctx* cc = c;
+      c->timers->push_back(c->eng->schedule_after(
+          Duration(500 + static_cast<std::int64_t>(c->rng->below(500))),
+          [cc, tid] { fire(cc, tid, 0); }));
+      if (!c->timers->empty() && c->rng->below(2) == 0) {
+        const std::size_t victim = c->rng->below(c->timers->size());
+        (*c->timers)[victim].cancel();
+      }
+    }
+  };
+
+  for (int i = 0; i < 8; ++i) {
+    const int id = next_id++;
+    Ctx* cc = &ctx;
+    eng.schedule_at(TimePoint(static_cast<std::int64_t>(rng.below(100))),
+                    [cc, id] { Step::fire(cc, id, 9); });
+  }
+  eng.run();
+
+  EngineRun out;
+  out.journal = std::move(journal);
+  out.executed = eng.perf_stats().executed;
+  out.scheduled = eng.perf_stats().scheduled;
+  out.dead_pops = eng.perf_stats().dead_pops;
+  return out;
+}
+
+TEST(SchedulerDifferential, WholeEngineRunsIdentical) {
+  for (std::uint64_t seed : {7ull, 1234ull}) {
+    const EngineRun heap = run_engine(SchedKind::heap4, seed);
+    const EngineRun cal = run_engine(SchedKind::calendar, seed);
+    EXPECT_GT(heap.executed, 500u) << "workload too small to mean anything";
+    EXPECT_GT(heap.dead_pops, 0u) << "cancellation path not exercised";
+    EXPECT_EQ(heap, cal) << "seed " << seed;
+  }
+}
+
+// run_until must leave later events queued identically under both kinds.
+TEST(SchedulerDifferential, RunUntilBoundaryIdentical) {
+  for (SchedKind kind : {SchedKind::heap4, SchedKind::calendar}) {
+    Engine eng(kind);
+    std::vector<int> fired;
+    for (int i = 0; i < 50; ++i) {
+      eng.schedule_at(TimePoint(i * 10), [&fired, i] { fired.push_back(i); });
+    }
+    eng.run_until(TimePoint(245));
+    EXPECT_EQ(fired.size(), 25u) << to_string(kind);
+    EXPECT_EQ(eng.pending_events(), 25u) << to_string(kind);
+    EXPECT_EQ(eng.now(), TimePoint(245)) << to_string(kind);
+  }
+}
+
+}  // namespace

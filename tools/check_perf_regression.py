@@ -1,26 +1,57 @@
 #!/usr/bin/env python3
-"""Gate bench_sim_throughput against a committed baseline.
+"""Gate bench results against the committed baselines in bench/baseline/.
 
-Compares the current BENCH_sim_throughput.json against the baseline at
-bench/baseline/BENCH_sim_throughput.json: every (bytes, window,
-transport_timers) point's mevents_per_s and the aggregate
-total_mevents_per_s must be no more than --tolerance below the baseline.
-Faster-than-baseline is always fine. Exits 1 on regression so CI can fail
-the step; stdlib only.
+Two modes:
 
-Usage:
-  tools/check_perf_regression.py --baseline bench/baseline/BENCH_sim_throughput.json \
-      --current build/BENCH_sim_throughput.json [--tolerance 0.15]
+  Single pair (the original interface):
+    tools/check_perf_regression.py --baseline bench/baseline/BENCH_sim_throughput.json \
+        --current build/BENCH_sim_throughput.json [--tolerance 0.15]
+
+  Multi-config (gate every baseline that has a current counterpart):
+    tools/check_perf_regression.py --baseline-dir bench/baseline \
+        --current-dir build/bench [--tolerance 0.15]
+
+Each bench name carries its own comparison spec: which point fields
+identify a configuration, which metrics are gated, and in which
+direction ("higher" is throughput-like, "lower" is latency-like,
+"exact" is a correctness flag that must match the baseline bit for
+bit — used for the parallel-engine identity verdicts, which must never
+be waved through as "within tolerance"). A gated metric may be slower
+than baseline by at most --tolerance (default 15%); faster is always
+fine. Exits 1 on any regression so CI can fail the step; stdlib only.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
-
-def point_key(point):
-    return (point.get("bytes"), point.get("window"),
-            point.get("transport_timers"))
+# Per-bench comparison specs: point-identity fields, gated point metrics,
+# gated top-level metrics. Benches without a spec fall back to gating
+# nothing point-wise (but still fail loudly on a missing counterpart),
+# so adding a new bench JSON never silently passes CI with a typo'd name.
+SPECS = {
+    "sim_throughput": {
+        "key": ("bytes", "window", "transport_timers"),
+        "metrics": [("mevents_per_s", "higher")],
+        "meta": [("total_mevents_per_s", "higher")],
+    },
+    "scheduler": {
+        "key": ("pending", "spike_percent", "far_percent"),
+        "metrics": [("heap4_ns_per_op", "lower"),
+                    ("calendar_ns_per_op", "lower")],
+        "meta": [],
+    },
+    "parallel_world": {
+        "key": ("engine_threads",),
+        # Wall-clock scaling depends on the host's core count, which CI
+        # cannot pin; the invariant worth gating everywhere is that every
+        # engine configuration stayed bit-identical.
+        "metrics": [("identical", "exact")],
+        "meta": [],
+    },
+}
 
 
 def load(path):
@@ -28,51 +59,98 @@ def load(path):
         return json.load(f)
 
 
+def point_key(point, fields):
+    return tuple(point.get(f) for f in fields)
+
+
+def check_pair(baseline, current, tolerance, failures, checks):
+    name = baseline.get("name", "?")
+    spec = SPECS.get(name)
+    if spec is None:
+        failures.append("%s: no comparison spec in check_perf_regression.py"
+                        % name)
+        return
+
+    def check(label, metric, direction, base_v, cur_v):
+        full = "%s: %s %s" % (name, label, metric)
+        if direction == "exact":
+            ok = base_v == cur_v
+            checks.append((full, base_v, cur_v, 1.0 if ok else 0.0))
+            if not ok:
+                failures.append(full + " (exact-match metric diverged)")
+            return
+        if base_v is None or base_v <= 0:
+            return
+        ratio = (cur_v / base_v) if direction == "higher" else (base_v / cur_v
+                                                                if cur_v > 0
+                                                                else 0.0)
+        checks.append((full, base_v, cur_v, ratio))
+        if ratio < 1.0 - tolerance:
+            failures.append(full)
+
+    for metric, direction in spec["meta"]:
+        check("(meta)", metric, direction, baseline.get(metric),
+              current.get(metric, 0.0))
+
+    current_points = {point_key(p, spec["key"]): p
+                      for p in current.get("points", [])}
+    for bp in baseline.get("points", []):
+        key = point_key(bp, spec["key"])
+        label = " ".join("%s=%s" % (f, v) for f, v in zip(spec["key"], key))
+        cp = current_points.get(key)
+        if cp is None:
+            failures.append("%s: %s (missing from current run)"
+                            % (name, label))
+            continue
+        for metric, direction in spec["metrics"]:
+            check(label, metric, direction, bp.get(metric),
+                  cp.get(metric, 0.0))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", help="single baseline JSON")
+    ap.add_argument("--current", help="single current JSON")
+    ap.add_argument("--baseline-dir", help="directory of BENCH_*.json baselines")
+    ap.add_argument("--current-dir", help="directory of current BENCH_*.json")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional slowdown (default 0.15 = 15%%)")
     args = ap.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    pairs = []
+    if args.baseline and args.current:
+        pairs.append((args.baseline, args.current))
+    elif args.baseline_dir and args.current_dir:
+        for base_path in sorted(glob.glob(
+                os.path.join(args.baseline_dir, "BENCH_*.json"))):
+            cur_path = os.path.join(args.current_dir,
+                                    os.path.basename(base_path))
+            pairs.append((base_path, cur_path))
+        if not pairs:
+            print("no BENCH_*.json baselines under " + args.baseline_dir)
+            return 1
+    else:
+        ap.error("need --baseline/--current or --baseline-dir/--current-dir")
 
-    current_points = {point_key(p): p for p in current.get("points", [])}
     failures = []
     checks = []
-
-    def check(label, base_v, cur_v):
-        if base_v is None or base_v <= 0:
-            return
-        ratio = cur_v / base_v
-        checks.append((label, base_v, cur_v, ratio))
-        if ratio < 1.0 - args.tolerance:
-            failures.append(label)
-
-    check("total_mevents_per_s", baseline.get("total_mevents_per_s"),
-          current.get("total_mevents_per_s", 0.0))
-
-    for bp in baseline.get("points", []):
-        key = point_key(bp)
-        label = "bytes=%s window=%s timers=%s" % key
-        cp = current_points.get(key)
-        if cp is None:
-            failures.append(label + " (missing from current run)")
+    for base_path, cur_path in pairs:
+        if not os.path.exists(cur_path):
+            failures.append(os.path.basename(base_path) +
+                            " (current result not produced)")
             continue
-        check(label, bp.get("mevents_per_s"), cp.get("mevents_per_s", 0.0))
+        check_pair(load(base_path), load(cur_path), args.tolerance,
+                   failures, checks)
 
-    print("perf check: tolerance %.0f%% slowdown vs %s" %
-          (100.0 * args.tolerance, args.baseline))
+    print("perf check: tolerance %.0f%% slowdown, %d baseline file(s)" %
+          (100.0 * args.tolerance, len(pairs)))
     for label, base_v, cur_v, ratio in checks:
         verdict = "FAIL" if ratio < 1.0 - args.tolerance else "ok"
-        print("  [%s] %-40s baseline %8.3f  current %8.3f  (%.2fx)" %
+        print("  [%s] %-58s baseline %10.3f  current %10.3f  (%.2fx)" %
               (verdict, label, base_v, cur_v, ratio))
 
     if failures:
-        print("REGRESSION: %d check(s) slower than baseline by more than "
-              "%.0f%%:" % (len(failures), 100.0 * args.tolerance))
+        print("REGRESSION: %d check(s) failed:" % len(failures))
         for label in failures:
             print("  - " + label)
         return 1

@@ -64,6 +64,18 @@ mpi::WorldConfig config_from_options(const util::Options& opt) {
     cfg.fabric.transport_timeout = sim::microseconds(transport_us);
   }
   cfg.device.auto_reconnect = opt.get_bool("reconnect", false);
+  // Engine mode (DESIGN.md §14): --threads=N runs the sharded engine with
+  // N workers (0 = serial reference), --scheduler picks the pending-set
+  // structure. Both default to the MVFLOW_* env snapshots like everywhere
+  // else; neither changes results, only wall-clock.
+  cfg.engine_threads =
+      static_cast<int>(opt.get_int("threads", cfg.engine_threads));
+  if (const auto sched = opt.get("scheduler")) {
+    if (!sim::parse_sched_kind(*sched, cfg.scheduler)) {
+      throw std::runtime_error("unknown --scheduler=" + *sched +
+                               " (heap4|calendar)");
+    }
+  }
   return cfg;
 }
 
@@ -139,8 +151,8 @@ int cmd_run(const util::Options& opt) {
                                  ro.checkpoint_events);
     }
     if (ro.kill_at > 0) {
-      world.engine().set_watchpoint(ro.kill_at,
-                                    [&world] { world.abort_run(); });
+      world.set_event_watchpoint(ro.kill_at,
+                                 [&world] { world.abort_run(); });
     }
     rr.elapsed = world.run_workload();
     rr.aborted = world.aborted();
@@ -156,8 +168,21 @@ int cmd_restore(const util::Options& opt) {
     std::fprintf(stderr, "usage: mvflow_ckpt restore SNAPSHOT [options]\n");
     return 1;
   }
-  const mpi::ckpt::WorldSnapshot snap =
+  mpi::ckpt::WorldSnapshot snap =
       mpi::ckpt::read_snapshot(opt.positional()[1]);
+  // Worker count and scheduler are wall-clock knobs, not simulation state,
+  // so a restore may override what the snapshot recorded: the audit still
+  // passes because neither influences the event order. A snapshot written
+  // by an 8-worker run restores bit-identically on a serial-only box.
+  if (const auto th = opt.get("threads")) {
+    snap.config.engine_threads = static_cast<int>(opt.get_int("threads", 0));
+  }
+  if (const auto sched = opt.get("scheduler")) {
+    if (!sim::parse_sched_kind(*sched, snap.config.scheduler)) {
+      throw std::runtime_error("unknown --scheduler=" + *sched +
+                               " (heap4|calendar)");
+    }
+  }
   mpi::ckpt::RestoreOptions ro;
   parse_checkpoint_arg(opt, ro);
   ro.tune = tune_from_options(opt);
@@ -185,6 +210,12 @@ int cmd_inspect(const util::Options& opt) {
   }
   std::printf("  workload  %s\n", snap.workload.to_string().c_str());
   std::printf("  barrier   %" PRIu64 " executed events\n", snap.barrier);
+  std::printf("  engine    %s, scheduler=%s\n",
+              snap.config.engine_threads > 0
+                  ? ("sharded x" +
+                     std::to_string(snap.config.engine_threads)).c_str()
+                  : "serial",
+              std::string(sim::to_string(snap.config.scheduler)).c_str());
   std::printf("  world     %d ranks, scheme=%s, prepost=%d%s%s\n",
               snap.config.num_ranks,
               std::string(flowctl::to_string(snap.config.flow.scheme)).c_str(),
