@@ -126,10 +126,12 @@ inline mpi::WorldConfig base_config(flowctl::Scheme scheme, int prepost,
 struct EngineMode {
   int engine_threads = -1;
   int scheduler = -1;  ///< static_cast<int>(sim::SchedKind), or -1
+  int audit = -1;      ///< 0/1 forces the invariant auditor off/on, or -1
 
   void apply(mpi::WorldConfig& cfg) const {
     if (engine_threads >= 0) cfg.engine_threads = engine_threads;
     if (scheduler >= 0) cfg.scheduler = static_cast<sim::SchedKind>(scheduler);
+    if (audit >= 0) cfg.run.audit = audit != 0;
   }
 };
 

@@ -54,6 +54,12 @@ RunConfig RunConfig::from_env() {
   cfg.trace_capacity = env_capacity("MVFLOW_TRACE_CAPACITY");
   const std::string ck = env_or_empty("MVFLOW_CHECKPOINT");
   if (!ck.empty()) cfg.parse_checkpoint(ck);
+  const std::string audit = env_or_empty("MVFLOW_AUDIT");
+  cfg.audit = !audit.empty() && audit != "0";
+  cfg.watchdog_horizon_us =
+      static_cast<std::int64_t>(env_capacity("MVFLOW_WATCHDOG_US"));
+  cfg.watchdog_dump_path = env_or_empty("MVFLOW_WATCHDOG_DUMP");
+  cfg.watchdog_ckpt_path = env_or_empty("MVFLOW_WATCHDOG_CKPT");
   return cfg;
 }
 
@@ -71,6 +77,10 @@ RunConfig RunConfig::quiet() const {
   cfg.trace_csv_path.clear();
   cfg.checkpoint_path.clear();
   cfg.checkpoint_events.clear();
+  // The auditor and watchdog stay armed (they are checks, not exports);
+  // only their file artifacts are silenced for parallel jobs.
+  cfg.watchdog_dump_path.clear();
+  cfg.watchdog_ckpt_path.clear();
   return cfg;
 }
 

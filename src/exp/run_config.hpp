@@ -52,6 +52,26 @@ struct RunConfig {
     return !trace_path.empty() || !trace_csv_path.empty();
   }
 
+  /// Invariant auditor ($MVFLOW_AUDIT = 1): run the credit-conservation /
+  /// buffer-accounting / delivery checks (obs/audit.hpp, DESIGN.md §15)
+  /// inline after every delivered message (serial engine) or at every
+  /// shard barrier (sharded engine). Off by default — the ledgers feeding
+  /// the checks are always maintained, only the checks themselves cost.
+  bool audit = false;
+
+  /// Progress watchdog ($MVFLOW_WATCHDOG_US, sim-time horizon in
+  /// microseconds; 0 = off): fire when a connection holds nonzero backlog
+  /// but records no credited send / ECM / retransmit for a full horizon.
+  std::int64_t watchdog_horizon_us = 0;
+
+  /// Watchdog stall artifacts: metrics snapshot dump path and optional
+  /// world-checkpoint capture path ($MVFLOW_WATCHDOG_DUMP /
+  /// $MVFLOW_WATCHDOG_CKPT). Empty = don't write.
+  std::string watchdog_dump_path;
+  std::string watchdog_ckpt_path;
+
+  bool watchdog_enabled() const noexcept { return watchdog_horizon_us > 0; }
+
   /// Read the MVFLOW_* variables right now (no caching).
   static RunConfig from_env();
 

@@ -46,6 +46,7 @@ bool ConnectionFlow::try_acquire_credit() {
   }
   if (credits_ <= 0) return false;
   --credits_;
+  ++aud_consumed_;
   ++counters_.credited_sent;
   return true;
 }
@@ -54,6 +55,7 @@ void ConnectionFlow::add_credits(int n) {
   util::require(n >= 0, "negative credit update");
   if (!user_level() || n == 0) return;
   credits_ += n;
+  aud_received_ += static_cast<std::uint64_t>(n);
   counters_.credits_received += static_cast<std::uint64_t>(n);
 }
 
@@ -67,6 +69,7 @@ int ConnectionFlow::effective_ecm_threshold() const noexcept {
 
 bool ConnectionFlow::on_credited_repost() {
   if (!user_level()) return false;
+  ++aud_delivered_;
   ++accumulated_;
   return accumulated_ >= effective_ecm_threshold();
 }
@@ -77,6 +80,7 @@ bool ConnectionFlow::take_decay_slot() {
   if (pending_decay_ > 0) {
     --pending_decay_;
     --current_posted_;
+    ++aud_delivered_;  // the message was delivered; its buffer retires
     ++counters_.decay_events;
     return true;
   }
@@ -92,6 +96,7 @@ bool ConnectionFlow::take_decay_slot() {
 int ConnectionFlow::take_return_credits() {
   if (!user_level()) return 0;
   const int out = accumulated_;
+  aud_granted_ += static_cast<std::uint64_t>(out);
   accumulated_ = 0;
   return out;
 }
@@ -155,6 +160,7 @@ void ConnectionFlow::serialize_state(util::serial::BufWriter& w) const {
   w.u64(counters_.ecm_sent);
   w.u64(counters_.backlog_entered);
   w.u64(counters_.backlog_dispatched);
+  w.u64(counters_.backlog_failed);
   w.u64(counters_.optimistic_rts);
   w.u64(counters_.credits_received);
   w.u64(counters_.growth_events);

@@ -76,6 +76,7 @@ struct Counters {
   std::uint64_t ecm_sent = 0;           ///< Explicit credit messages.
   std::uint64_t backlog_entered = 0;    ///< Sends that hit an empty credit pool.
   std::uint64_t backlog_dispatched = 0;
+  std::uint64_t backlog_failed = 0;     ///< Backlogged sends lost to a dead QP.
   std::uint64_t optimistic_rts = 0;     ///< Famine RTSes sent without a credit.
   std::uint64_t credits_received = 0;   ///< Via piggyback + ECM.
   std::uint64_t growth_events = 0;      ///< Dynamic feedback firings.
@@ -96,6 +97,7 @@ struct Counters {
     f("ecm_sent", static_cast<double>(ecm_sent));
     f("backlog_entered", static_cast<double>(backlog_entered));
     f("backlog_dispatched", static_cast<double>(backlog_dispatched));
+    f("backlog_failed", static_cast<double>(backlog_failed));
     f("optimistic_rts", static_cast<double>(optimistic_rts));
     f("credits_received", static_cast<double>(credits_received));
     f("growth_events", static_cast<double>(growth_events));
@@ -149,6 +151,12 @@ class ConnectionFlow {
 
   void note_backlogged() { ++counters_.backlog_entered; }
   void note_backlog_dispatched() { ++counters_.backlog_dispatched; }
+  /// Backlogged sends discarded because the connection died (QP error with
+  /// auto-reconnect off). Closes the backlog books: entered always equals
+  /// dispatched + failed + current depth (the auditor's liveness check).
+  void note_backlog_failed(std::size_t n) {
+    counters_.backlog_failed += static_cast<std::uint64_t>(n);
+  }
   void note_optimistic_rts() {
     ++counters_.optimistic_rts;
     ++counters_.credited_sent;  // it is still an unexpected-class message
@@ -192,13 +200,44 @@ class ConnectionFlow {
   /// whole pool, so sender-side credits restart at `credits` (the peer's
   /// pool minus credited messages we are about to replay). Return-credit
   /// accounting restarts from zero — credits for replayed duplicates flow
-  /// back through the normal repost path.
-  void reconnect_reset(int credits) {
+  /// back through the normal repost path. `replayed_credited` is the number
+  /// of credited messages going back in flight: the audit ledger restarts
+  /// with exactly those counted as consumed-but-undelivered so the
+  /// conservation equation holds through the replay.
+  void reconnect_reset(int credits, int replayed_credited = 0) {
     credits_ = credits < 0 ? 0 : credits;
     accumulated_ = 0;
     idle_msgs_ = 0;
     pending_decay_ = 0;
+    aud_consumed_ = static_cast<std::uint64_t>(
+        replayed_credited < 0 ? 0 : replayed_credited);
+    aud_received_ = 0;
+    aud_delivered_ = 0;
+    aud_granted_ = 0;
   }
+
+  // ---- audit ledger (obs/audit.hpp, DESIGN.md §15) ----
+  //
+  // Four monotonic counters maintained unconditionally (single integer
+  // adds; the *checks* are what MVFLOW_AUDIT gates). Per direction a→b the
+  // conservation equation reads:
+  //
+  //   credits(a) + [consumed(a) − delivered(b)] + pending_return(b)
+  //              + [granted(b) − received(a)]  == current_posted(b)
+  //
+  // with both bracketed flight terms >= 0. Optimistic famine RTSes and
+  // CTS/FIN/ECM control messages move none of these: they borrow a posted
+  // buffer momentarily (the RNR retry is their safety net) and return it
+  // without a credit.
+  std::uint64_t aud_consumed() const noexcept { return aud_consumed_; }
+  std::uint64_t aud_delivered() const noexcept { return aud_delivered_; }
+  std::uint64_t aud_granted() const noexcept { return aud_granted_; }
+  std::uint64_t aud_received() const noexcept { return aud_received_; }
+
+  /// Test-only fault: add sender credits without touching the ledger —
+  /// exactly the class of miscount (a duplicated/phantom credit grant) the
+  /// auditor exists to catch. Never called outside negative tests.
+  void debug_add_credits_unaccounted(int n) { credits_ += n; }
 
   const Counters& counters() const noexcept { return counters_; }
 
@@ -223,6 +262,13 @@ class ConnectionFlow {
   int current_posted_ = 0;  // receiver role: credited pool size
   int idle_msgs_ = 0;       // credited reposts since the last growth event
   int pending_decay_ = 0;   // buffers queued for retirement
+  // Audit ledger (see the aud_* accessors). Deliberately absent from
+  // serialize_state: a restore's deterministic replay rebuilds them, and
+  // the snapshot format stays stable.
+  std::uint64_t aud_consumed_ = 0;   // sender: credits spent on sends
+  std::uint64_t aud_delivered_ = 0;  // receiver: credited buffers processed
+  std::uint64_t aud_granted_ = 0;    // receiver: credits handed to the wire
+  std::uint64_t aud_received_ = 0;   // sender: credits learned from the peer
   Counters counters_;
 };
 

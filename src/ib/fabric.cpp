@@ -32,9 +32,22 @@ Fabric::Fabric(sim::ShardedEngine& engine, FabricConfig config, int num_nodes)
     : Fabric(nullptr, &engine, std::move(config), num_nodes) {
   util::require(engine.shard_count() == static_cast<std::size_t>(num_nodes),
                 "sharded fabric needs exactly one engine shard per node");
-  util::require(!config_.fault.active(),
-                "fault injection is serial-only: the injector draws one RNG "
-                "stream, which concurrent shard windows would race on");
+  // Random faults draw from per-source-node streams (single-writer per
+  // shard); scripted state is likewise owned by the source shard, so a
+  // sharded script must pin its source.
+  for (const ScriptedFault& f : config_.fault.scripted) {
+    util::require(f.src_node >= 0,
+                  "sharded fault scripts must pin src_node: the scripted "
+                  "fire/skip state is owned by the source node's shard");
+  }
+  if (config_.fault.active()) {
+    node_fault_rng_.reserve(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n) {
+      node_fault_rng_.emplace_back(config_.fault.seed +
+                                   0x9e3779b97f4a7c15ULL *
+                                       static_cast<std::uint64_t>(n + 1));
+    }
+  }
   engine.set_lookahead(min_lookahead());
 }
 
@@ -87,32 +100,106 @@ bool Fabric::link_down(int node, sim::TimePoint t) const {
   return false;
 }
 
-bool Fabric::apply_faults(int src_node, int dst_node, Packet& pkt) {
+void Fabric::enable_fault_recording() {
+  record_faults_ = true;
+  fault_log_.clear();
+  fault_log_.resize(nodes_.size());
+}
+
+namespace {
+std::uint64_t fault_key(int dst_node, PacketKind kind) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_node))
+          << 32) |
+         static_cast<std::uint32_t>(kind);
+}
+}  // namespace
+
+void Fabric::record_fault(int src_node, int dst_node, const Packet& pkt,
+                          sim::TimePoint when, bool corrupt) {
+  if (!record_faults_) return;
+  NodeFaultLog& log = fault_log_[static_cast<std::size_t>(src_node)];
+  RecordedFault rf;
+  rf.at = when;
+  rf.fault.src_node = src_node;
+  rf.fault.dst_node = dst_node;
+  rf.fault.kind = static_cast<int>(pkt.kind);
+  rf.fault.skip = log.passed[fault_key(dst_node, pkt.kind)];
+  rf.fault.corrupt = corrupt;
+  log.fired.push_back(rf);
+}
+
+std::vector<Fabric::RecordedFault> Fabric::recorded_faults() const {
+  // Chronological merge keeping each node's fire order (entries of one
+  // (src, dst, kind) filter all come from one node, so any order-preserving
+  // merge yields a valid replay script).
+  struct Item {
+    RecordedFault rf;
+    int src;
+    std::size_t idx;
+  };
+  std::vector<Item> items;
+  for (std::size_t n = 0; n < fault_log_.size(); ++n) {
+    const NodeFaultLog& log = fault_log_[n];
+    for (std::size_t i = 0; i < log.fired.size(); ++i) {
+      items.push_back(Item{log.fired[i], static_cast<int>(n), i});
+    }
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.rf.at != b.rf.at) return a.rf.at < b.rf.at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.idx < b.idx;
+  });
+  std::vector<RecordedFault> out;
+  out.reserve(items.size());
+  for (Item& it : items) out.push_back(it.rf);
+  return out;
+}
+
+bool Fabric::apply_faults(int src_node, int dst_node, Packet& pkt,
+                          util::Xoshiro256& rng, sim::TimePoint when) {
   const FaultConfig& fc = config_.fault;
-  // Scripted one-shots first: deterministic targeting for tests.
+  const bool was_corrupted = pkt.corrupted;
+  // Scripted one-shots first: deterministic targeting for tests. The
+  // src/dst/kind filters run before any state is touched, so a script
+  // pinned to src_node is single-writer in sharded mode (serial behavior
+  // unchanged: `seen` still counts exactly the filter-matching packets).
   for (std::size_t i = 0; i < fc.scripted.size(); ++i) {
     const ScriptedFault& f = fc.scripted[i];
-    ScriptedState& st = scripted_[i];
-    if (st.fired) continue;
     if (f.src_node >= 0 && f.src_node != src_node) continue;
     if (f.dst_node >= 0 && f.dst_node != dst_node) continue;
     if (f.kind >= 0 && f.kind != static_cast<int>(pkt.kind)) continue;
+    ScriptedState& st = scripted_[i];
+    if (st.fired) continue;
     if (st.seen++ < f.skip) continue;
     st.fired = true;
     ++node_stats_[src_node].scripted_faults_fired;
-    if (!f.corrupt) return false;
+    if (!f.corrupt) {
+      record_fault(src_node, dst_node, pkt, when, false);
+      return false;
+    }
     pkt.corrupted = true;
     ++node_stats_[src_node].corrupted_packets;
+    record_fault(src_node, dst_node, pkt, when, true);
     break;
   }
-  if (fc.loss_prob > 0.0 && fault_rng_.uniform() < fc.loss_prob) {
+  if (fc.loss_prob > 0.0 && rng.uniform() < fc.loss_prob) {
     ++node_stats_[src_node].lost_packets;
+    record_fault(src_node, dst_node, pkt, when, false);
     return false;
   }
   if (!pkt.corrupted && fc.corrupt_prob > 0.0 &&
-      fault_rng_.uniform() < fc.corrupt_prob) {
+      rng.uniform() < fc.corrupt_prob) {
     pkt.corrupted = true;
     ++node_stats_[src_node].corrupted_packets;
+    record_fault(src_node, dst_node, pkt, when, true);
+  }
+  if (record_faults_ && pkt.corrupted == was_corrupted) {
+    // Un-faulted survivor: advances the skip a future recorded fault on
+    // this (dst, kind) filter will need. Faulted packets deliberately do
+    // not count — a replayed drop/corrupt stops the scripted loop, so the
+    // replay's `seen` never counts them either.
+    ++fault_log_[static_cast<std::size_t>(src_node)]
+          .passed[fault_key(dst_node, pkt.kind)];
   }
   return true;
 }
@@ -149,7 +236,10 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
       return;
     }
     const sim::TimePoint arrive = start + ser + config_.rx_process;
-    if (faults && !apply_faults(src_node, dst_node, pkt)) return;
+    if (faults && !apply_faults(src_node, dst_node, pkt,
+                                fault_rng_for(src_node), start)) {
+      return;
+    }
     auto delivery =
         [this, dst_node, p = std::move(pkt)] { deliver(dst_node, p); };
     static_assert(sizeof(delivery) <= sim::Engine::kEventInlineBytes,
@@ -171,10 +261,27 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
     // content. The key (and everything downstream of it) is >= the window
     // horizon by the lookahead argument, which is what makes running the
     // shards concurrently safe.
-    auto finish = [this, dst_node, at_switch, ser,
+    //
+    // Faults are decided entirely at the source (its own RNG stream, its
+    // own stats block), mirroring the serial sequencing: a dark link eats
+    // the packet before the switch (no downlink reservation), while a
+    // randomly lost packet still occupies the switch output port — the
+    // serial path reserves down_[dst] before rolling the dice.
+    bool lost = false;
+    if (faults) {
+      if (link_down(src_node, up_start) ||
+          link_down(dst_node, at_switch + config_.switch_latency)) {
+        ++st.flap_dropped_packets;
+        return;
+      }
+      lost = !apply_faults(src_node, dst_node, pkt, fault_rng_for(src_node),
+                           up_start);
+    }
+    auto finish = [this, dst_node, at_switch, ser, lost,
                    p = std::move(pkt)]() mutable {
       const sim::TimePoint down_start =
           down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
+      if (lost) return;  // reserved the port, never leaves the switch
       const sim::TimePoint arrive =
           down_start + ser + config_.wire_latency + config_.rx_process;
       auto delivery =
@@ -208,7 +315,10 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
   const sim::TimePoint arrive =
       down_start + ser + config_.wire_latency + config_.rx_process;
 
-  if (faults && !apply_faults(src_node, dst_node, pkt)) return;
+  if (faults && !apply_faults(src_node, dst_node, pkt,
+                              fault_rng_for(src_node), up_start)) {
+    return;
+  }
 
   // The packet (and its pooled-message reference) moves into the event's
   // inline storage: no payload copy, no refcount churn, no allocation per
@@ -256,6 +366,14 @@ void Fabric::serialize_state(util::serial::BufWriter& w) const {
   // runs that consumed a different number of draws have diverged even if
   // every counter happens to match.
   for (std::uint64_t word : fault_rng_.state()) w.u64(word);
+  // Sharded fault injection: the per-source-node streams are the ones
+  // actually drawn from. Gated so serial snapshots (and fault-free sharded
+  // ones) keep their exact historical bytes.
+  if (sharded_ != nullptr && config_.fault.active()) {
+    for (const util::Xoshiro256& rng : node_fault_rng_) {
+      for (std::uint64_t word : rng.state()) w.u64(word);
+    }
+  }
   w.u64(scripted_.size());
   for (const ScriptedState& s : scripted_) {
     w.u64(s.seen);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -66,8 +67,11 @@ class Fabric {
  public:
   Fabric(sim::Engine& engine, FabricConfig config, int num_nodes);
   /// Sharded fabric: `engine` must have exactly one shard per node. Fault
-  /// injection is rejected here — the injector's single RNG stream would
-  /// be drawn from concurrently, losing determinism.
+  /// injection runs one dedicated RNG stream *per source node* (each drawn
+  /// only from that node's shard), so random faults stay deterministic at
+  /// every worker count — at the cost of a different drop pattern than the
+  /// serial engine's shared stream. Scripted faults must pin src_node, for
+  /// the same single-writer reason.
   Fabric(sim::ShardedEngine& engine, FabricConfig config, int num_nodes);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -125,6 +129,21 @@ class Fabric {
   /// Wire size of a packet (payload + per-kind overhead).
   std::uint32_t wire_bytes(const Packet& pkt) const;
 
+  // ---- fault recording (chaos-campaign failing-seed minimization) ----
+  /// One fault the injector actually fired, in replayable scripted form:
+  /// `fault` targets exactly the packet that was hit (src/dst/kind pinned,
+  /// skip = un-faulted survivors of that filter at fire time), so replaying
+  /// the run with loss/corrupt probabilities zeroed and the recorded list
+  /// as the scripted plan reproduces the identical fault sequence.
+  struct RecordedFault {
+    sim::TimePoint at{sim::Duration{0}};
+    ScriptedFault fault;
+  };
+  /// Arm recording (off by default: the log costs a map lookup per packet).
+  void enable_fault_recording();
+  /// Every fired fault, merged chronologically across source nodes.
+  std::vector<RecordedFault> recorded_faults() const;
+
   /// Serialize the fabric's complete state for the snapshot restore audit:
   /// wire/fault counters, QPN allocator, fault-injector RNG stream and
   /// scripted-fault progress, per-node link occupancy, and each HCA's
@@ -139,8 +158,20 @@ class Fabric {
 
   /// Applies the fault plan to a packet about to be scheduled for delivery.
   /// Returns false when the packet is consumed by a fault (drop); may set
-  /// pkt.corrupted. Only called when config_.fault.active().
-  bool apply_faults(int src_node, int dst_node, Packet& pkt);
+  /// pkt.corrupted. Only called when config_.fault.active(). `rng` is the
+  /// stream owned by the calling context (the shared stream on the serial
+  /// engine, the source node's stream when sharded); `when` timestamps the
+  /// fault log entry for the chronological merge.
+  bool apply_faults(int src_node, int dst_node, Packet& pkt,
+                    util::Xoshiro256& rng, sim::TimePoint when);
+  /// The fault RNG the source node's context must draw from.
+  util::Xoshiro256& fault_rng_for(int src_node) noexcept {
+    return sharded_ != nullptr
+               ? node_fault_rng_[static_cast<std::size_t>(src_node)]
+               : fault_rng_;
+  }
+  void record_fault(int src_node, int dst_node, const Packet& pkt,
+                    sim::TimePoint when, bool corrupt);
 
   struct ScriptedState {
     std::uint64_t seen = 0;
@@ -163,7 +194,20 @@ class Fabric {
   QpNumber next_qpn_ = 100;  // QP creation is setup-time (pre-run) only
   std::vector<NodeStats> node_stats_;  // indexed by source node
   util::Xoshiro256 fault_rng_;
+  /// Sharded mode: one independent stream per source node, each touched
+  /// only by its own shard (seeded from fault.seed with per-node offsets).
+  std::vector<util::Xoshiro256> node_fault_rng_;
   std::vector<ScriptedState> scripted_;
+
+  /// Fault log, one block per source node (single-writer in sharded mode,
+  /// like the stats blocks). `passed` counts the *un-faulted* survivors per
+  /// (dst, kind) — exactly the skip a replayed scripted fault needs.
+  struct alignas(64) NodeFaultLog {
+    std::vector<RecordedFault> fired;
+    std::map<std::uint64_t, std::uint64_t> passed;  // (dst << 32) | kind
+  };
+  bool record_faults_ = false;
+  std::vector<NodeFaultLog> fault_log_;
 };
 
 }  // namespace mvflow::ib

@@ -100,13 +100,18 @@ void QueuePair::post_send(const SendWr& wr) {
 
 void QueuePair::post_recv(const RecvWr& wr) {
   util::require(state_ != QpState::reset, "post_recv on unconnected QP");
+  // Recv-WQE ledger: every accepted post is counted here and must leave
+  // through exactly one of {queued, assembly, completed, flushed}.
+  ++stats_.recv_wqes_posted;
   if (state_ == QpState::error) {
+    ++stats_.recv_wqes_flushed;
     recv_cq_->push(Completion{wr.wr_id, WcStatus::flushed, WcOpcode::recv, 0,
                               qpn_, remote_qpn_});
     return;
   }
   if (!hca_.memory().check_local(wr.local_addr, wr.length, wr.lkey,
                                  Access::local_write)) {
+    ++stats_.recv_wqes_completed;
     recv_cq_->push(Completion{wr.wr_id, WcStatus::local_protection_error,
                               WcOpcode::recv, 0, qpn_, remote_qpn_});
     enter_error();
@@ -281,6 +286,7 @@ void QueuePair::rx_packet_ud(const Packet& pkt) {
   }
   const RecvWr wr = recvq_.front();
   recvq_.pop_front();
+  ++stats_.recv_wqes_completed;
   if (pkt.msg->length > wr.length) {
     recv_cq_->push(Completion{wr.wr_id, WcStatus::length_error, WcOpcode::recv,
                               pkt.msg->length, qpn_, pkt.src_qpn});
@@ -410,6 +416,7 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
       asm_state.wr = recvq_.front();
       recvq_.pop_front();
       asm_state.pkts_seen = 0;
+      asm_state.holds_wqe = true;
       rx_cur_ = asm_state;
     }
   }
@@ -421,6 +428,7 @@ void QueuePair::responder_accept_send(const Packet& pkt) {
   const RecvWr wr = rx_cur_->wr;
   rx_cur_.reset();
   ++expected_msn_;
+  ++stats_.recv_wqes_completed;
   if (pkt.msg->length > wr.length) {
     recv_cq_->push(Completion{wr.wr_id, WcStatus::length_error, WcOpcode::recv,
                               pkt.msg->length, qpn_, pkt.src_qpn});
@@ -757,6 +765,7 @@ void QueuePair::enter_error() {
   pending_tx_.clear();
   unacked_.clear();
   reads_.clear();
+  stats_.recv_wqes_flushed += recvq_.size();
   for (const auto& wr : recvq_)
     recv_cq_->push(Completion{wr.wr_id, WcStatus::flushed, WcOpcode::recv, 0,
                               qpn_, remote_qpn_});

@@ -70,6 +70,15 @@ class QueuePair {
   std::size_t pending_send_count() const noexcept {
     return pending_tx_.size() + unacked_.size();
   }
+  /// True while the in-progress inbound reassembly owns a popped recv WQE
+  /// (channel-semantics sends only; an RDMA-write assembly holds none).
+  /// One term of the auditor's recv-WQE ledger.
+  bool rx_assembly_holds_wqe() const noexcept {
+    return rx_cur_.has_value() && rx_cur_->holds_wqe;
+  }
+  /// Timer-state introspection for the watchdog's wait-for dump.
+  bool retx_timer_armed() const noexcept { return retx_armed_; }
+  bool rnr_waiting() const noexcept { return rnr_waiting_; }
 
   /// Force the QP into the error state, flushing all outstanding work
   /// requests (the verbs modify_qp(..., IBV_QPS_ERR) used to quiesce a
@@ -180,6 +189,7 @@ class QueuePair {
     Msn msn;
     RecvWr wr;
     std::uint32_t pkts_seen = 0;
+    bool holds_wqe = false;  ///< Consumed a recv WQE (send, not RDMA write).
   };
   std::optional<RxAssembly> rx_cur_;
 

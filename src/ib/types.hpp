@@ -112,6 +112,14 @@ struct QpStats {
   std::uint64_t seq_naks_sent = 0;      ///< As responder (sequence gap seen).
   std::uint64_t seq_naks_received = 0;  ///< As requester.
   std::uint64_t corrupt_packets_received = 0;  ///< CRC-failed arrivals dropped.
+  // Receive-WQE ledger (obs/audit.hpp, DESIGN.md §15). Every WQE posted to
+  // the receive queue must end exactly one way: still queued, consumed by
+  // the in-progress inbound message, completed through the CQ, or flushed
+  // by an error transition. The auditor checks
+  //   posted == queue depth + (assembly holds one) + completed + flushed.
+  std::uint64_t recv_wqes_posted = 0;
+  std::uint64_t recv_wqes_completed = 0;  ///< CQEs produced (any status).
+  std::uint64_t recv_wqes_flushed = 0;    ///< Discarded by enter_error.
   std::int64_t last_advertised_credits = -1;  ///< From the newest ACK.
 
   void accumulate(const QpStats& o) {
@@ -128,6 +136,9 @@ struct QpStats {
     seq_naks_sent += o.seq_naks_sent;
     seq_naks_received += o.seq_naks_received;
     corrupt_packets_received += o.corrupt_packets_received;
+    recv_wqes_posted += o.recv_wqes_posted;
+    recv_wqes_completed += o.recv_wqes_completed;
+    recv_wqes_flushed += o.recv_wqes_flushed;
   }
 
   /// Enumerate every counter as (name, value) for a metrics sink.
@@ -147,6 +158,9 @@ struct QpStats {
     f("seq_naks_received", static_cast<double>(seq_naks_received));
     f("corrupt_packets_received",
       static_cast<double>(corrupt_packets_received));
+    f("recv_wqes_posted", static_cast<double>(recv_wqes_posted));
+    f("recv_wqes_completed", static_cast<double>(recv_wqes_completed));
+    f("recv_wqes_flushed", static_cast<double>(recv_wqes_flushed));
     f("last_advertised_credits",
       static_cast<double>(last_advertised_credits));
   }

@@ -66,6 +66,13 @@ struct DeviceConfig {
   bool auto_reconnect = false;
   sim::Duration reconnect_delay = sim::microseconds(50);
 
+  /// Test-only fault (chaos campaign --inject-bug): skew the credit count
+  /// handed to ConnectionFlow::reconnect_reset by this many credits. A
+  /// nonzero value plants exactly the class of reconnect-path accounting
+  /// bug the auditor's conservation equation exists to catch. Never set
+  /// outside negative tests.
+  int debug_skew_reconnect_credit = 0;
+
   /// Largest payload that fits an eager message.
   std::uint32_t eager_max_payload() const { return buffer_size - kHeaderBytes; }
 };

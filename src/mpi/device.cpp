@@ -15,6 +15,7 @@ constexpr std::size_t kBounceChunk = 64;  // bounce slots added per arena
 }
 
 Device::Device(World& world, Rank me) : world_(world), me_(me) {
+  audit_inline_ = world_.audit_inline();
   hca_ = &world_.fabric().hca(me);
   cq_ = hca_->create_cq();
   world_.metrics().add_source(
@@ -86,6 +87,7 @@ void Device::grow_recv_slots(Endpoint& ep, int count) {
   ep.recv_arenas.push_back(std::move(arena));
   for (int i = 0; i < count; ++i) {
     ep.slots.push_back(RecvSlot{base + static_cast<std::size_t>(i) * slot_size, lkey});
+    ep.slot_retired.push_back(0);
     post_slot(ep, ep.slots.size() - 1);
   }
 }
@@ -549,6 +551,11 @@ void Device::fail_endpoint(Endpoint& ep) {
       ++it;
     }
   }
+  // Return the backlog slots in the flow-control books before dropping the
+  // entries, so entered == dispatched + failed + depth stays balanced (the
+  // auditor's backlog cross-check). Without this, a lost optimistic RTS that
+  // exhausts transport retries left backlog_entered permanently ahead.
+  ep.flow.note_backlog_failed(ep.backlog.size());
   for (BacklogEntry& entry : ep.backlog) fail_request(entry.eager_req);
   ep.backlog.clear();
   for (PostedRecv& pr : match_.extract_posted(ep.peer)) fail_request(pr.req);
@@ -584,9 +591,11 @@ void Device::prepare_reconnect(Rank peer) {
 void Device::finish_reconnect(Rank peer, int peer_posted) {
   Endpoint& ep = *endpoints_.at(peer);
   util::check(ep.qp->connected(), "finish_reconnect before connect");
-  // Repost the entire receive pool on the fresh QP (the old QP flushed or
-  // lost every posted buffer).
-  for (std::size_t i = 0; i < ep.slots.size(); ++i) post_slot(ep, i);
+  // Repost the receive pool on the fresh QP (the old QP flushed or lost
+  // every posted buffer) — except slots retired by dynamic decay, which
+  // must stay retired or the pool silently grows past current_posted.
+  for (std::size_t i = 0; i < ep.slots.size(); ++i)
+    if (!ep.slot_retired[i]) post_slot(ep, i);
   // Replay every wire message the old QP never acknowledged, in original
   // post order (tx ids are monotonic). Piggybacked credits are zeroed: the
   // credit exchange restarts from the reposted pool, and a stale grant
@@ -606,7 +615,9 @@ void Device::finish_reconnect(Rank peer, int peer_posted) {
   }
   // The peer reposted its whole pool, so our credits restart at its pool
   // size minus the credited messages we just put back in flight.
-  ep.flow.reconnect_reset(peer_posted - credited_replays);
+  ep.flow.reconnect_reset(peer_posted - credited_replays +
+                              world_.config().device.debug_skew_reconnect_credit,
+                          credited_replays);
   ep.failed = false;
   ep.recovering = false;
   ++stats_.reconnects;
@@ -675,12 +686,21 @@ void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
     if (!ep.flow.take_decay_slot()) {
       post_slot(ep, slot_idx);
       if (ep.flow.on_credited_repost()) send_ecm(ep);
+    } else {
+      // Dynamic decay retires this buffer: it never goes back on the QP,
+      // not even across a reconnect.
+      ep.slot_retired[slot_idx] = 1;
+      ++ep.retired_count;
     }
   } else {
     post_slot(ep, slot_idx);
   }
   stats_.max_unexpected = std::max(stats_.max_unexpected, match_.unexpected_count());
   drain_backlog(ep);
+  // Serial inline audit (MVFLOW_AUDIT=1): check both directions of this
+  // pair after every delivered message — violations surface at the exact
+  // event that introduced them. Sharded worlds sweep at barriers instead.
+  if (audit_inline_) world_.audit_pair(me_, ep.peer);
 }
 
 void Device::deliver_eager(Endpoint& ep, const WireHeader& hdr,
@@ -788,6 +808,36 @@ bool Device::test(const RequestPtr& req) {
 
 const flowctl::ConnectionFlow& Device::flow(Rank peer) const {
   return endpoints_.at(peer)->flow;
+}
+
+flowctl::ConnectionFlow& Device::debug_flow(Rank peer) {
+  return endpoints_.at(peer)->flow;
+}
+
+Device::EndpointProbe Device::probe(Rank peer) const {
+  const Endpoint& ep = *endpoints_.at(peer);
+  EndpointProbe p;
+  p.active = ep.active;
+  p.failed = ep.failed;
+  p.recovering = ep.recovering;
+  p.famine_rts_inflight = ep.famine_rts_inflight;
+  p.backlog_depth = ep.backlog.size();
+  p.tx_seq = ep.tx_seq;
+  p.rx_seq = ep.rx_seq;
+  p.slots = ep.slots.size();
+  p.retired_slots = ep.retired_count;
+  p.control_reserve = world_.config().device.control_reserve;
+  if (ep.qp) {
+    const ib::QpStats& qs = ep.qp->stats();
+    p.wqes_posted = qs.recv_wqes_posted;
+    p.wqes_completed = qs.recv_wqes_completed;
+    p.wqes_flushed = qs.recv_wqes_flushed;
+    p.recvq_depth = ep.qp->posted_recv_count();
+    p.assembly_holds_wqe = ep.qp->rx_assembly_holds_wqe();
+    p.retx_armed = ep.qp->retx_timer_armed();
+    p.rnr_waiting = ep.qp->rnr_waiting();
+  }
+  return p;
 }
 
 ib::QpStats Device::qp_stats(Rank peer) const {

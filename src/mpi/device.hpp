@@ -117,6 +117,35 @@ class Device {
   // ---- introspection ----
   const DeviceStats& stats() const noexcept { return stats_; }
   const flowctl::ConnectionFlow& flow(Rank peer) const;
+  /// Test-only mutable access — lets negative auditor tests plant a
+  /// deliberate counter corruption. Never used by the protocol itself.
+  flowctl::ConnectionFlow& debug_flow(Rank peer);
+
+  /// One endpoint's state, flattened for the auditor and the watchdog
+  /// (obs/audit.hpp, sim/watchdog.hpp). Everything is copied out so the
+  /// caller can evaluate invariants without re-entering the device.
+  struct EndpointProbe {
+    bool active = false;
+    bool failed = false;
+    bool recovering = false;
+    bool famine_rts_inflight = false;
+    std::size_t backlog_depth = 0;
+    std::uint64_t tx_seq = 0;
+    std::uint64_t rx_seq = 0;
+    std::size_t slots = 0;          ///< Receive pool size (incl. retired).
+    std::size_t retired_slots = 0;  ///< Slots removed by dynamic decay.
+    std::size_t control_reserve = 0;
+    // Live QP recv-WQE ledger (zeroed while a reconnect is rebuilding it).
+    std::uint64_t wqes_posted = 0;
+    std::uint64_t wqes_completed = 0;
+    std::uint64_t wqes_flushed = 0;
+    std::size_t recvq_depth = 0;
+    bool assembly_holds_wqe = false;
+    // Timer state for the watchdog's wait-for dump.
+    bool retx_armed = false;
+    bool rnr_waiting = false;
+  };
+  EndpointProbe probe(Rank peer) const;
   /// Live QP counters plus everything accumulated from QPs retired by
   /// recovery (so retransmit/NAK counts survive a reconnect).
   ib::QpStats qp_stats(Rank peer) const;
@@ -159,6 +188,11 @@ class Device {
     std::deque<BacklogEntry> backlog;
     std::vector<Arena> recv_arenas;
     std::vector<RecvSlot> slots;  // index == recv wr_id
+    /// Slots retired by dynamic-decay (take_decay_slot): their buffers are
+    /// never reposted — not even by a reconnect, which would silently grow
+    /// the pool past current_posted and break credit conservation.
+    std::vector<std::uint8_t> slot_retired;
+    std::size_t retired_count = 0;
     bool active = false;
     /// A famine (optimistic) RTS is outstanding: its CTS has not arrived
     /// yet. Throttles optimistic sends to one at a time per connection.
@@ -261,6 +295,9 @@ class Device {
 
   World& world_;
   Rank me_;
+  /// Cached at construction: run the auditor inline after every delivered
+  /// message (serial engine only — sharded worlds sweep at barriers).
+  bool audit_inline_ = false;
   sim::Process* proc_ = nullptr;
   /// Recovery runs in engine-event context where Process::delay is illegal;
   /// host-time charging is suppressed for its duration.

@@ -1,9 +1,11 @@
 #include "mpi/world.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "mpi/checkpoint.hpp"
 #include "mpi/communicator.hpp"
+#include "obs/audit.hpp"
 #include "obs/recorder.hpp"
 #include "sim/process.hpp"
 #include "util/check.hpp"
@@ -73,6 +75,13 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
     util::require(!cfg_.on_demand_connections,
                   "sharded worlds wire connections eagerly: on-demand setup "
                   "mutates fabric-wide state from inside a shard's window");
+    // Reconnect rebuilds *both* sides' QPs from one callback — inherently
+    // cross-shard work no window may do. With faults armed a QP error is
+    // reachable, so the combination is rejected up front; sharded chaos
+    // cells run with infinite retry limits instead (exp/chaos.cpp).
+    util::require(!(cfg_.device.auto_reconnect && cfg_.fabric.fault.active()),
+                  "sharded worlds cannot auto-reconnect under fault "
+                  "injection: recovery mutates both shards' state");
     sharded_ = std::make_unique<sim::ShardedEngine>(
         static_cast<std::size_t>(cfg_.num_ranks),
         static_cast<std::size_t>(cfg_.engine_threads), cfg_.scheduler);
@@ -283,18 +292,55 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
                           cfg_.run.checkpoint_events);
   }
 
+  // Progress watchdog (DESIGN.md §15): on the serial engine a
+  // self-rescheduling poll event; in sharded worlds a tick at every window
+  // barrier (combined below with the auditor's barrier sweep).
+  if (cfg_.run.watchdog_enabled()) {
+    const sim::Duration horizon =
+        sim::microseconds(cfg_.run.watchdog_horizon_us);
+    watchdog_ = std::make_unique<sim::Watchdog>(horizon);
+    if (sharded_ == nullptr) {
+      const sim::Duration period =
+          std::max(horizon / 4, sim::microseconds(1));
+      serial_->schedule_after(period,
+                              [this, period] { watchdog_poll_serial(period); });
+    }
+  }
+  if (sharded_ != nullptr && (cfg_.run.audit || watchdog_ != nullptr)) {
+    // Coordinator thread, every shard quiescent: the one instant a
+    // parallel run can read cross-shard state consistently.
+    sharded_->set_barrier_hook([this](sim::TimePoint now) {
+      if (cfg_.run.audit) audit_sweep();
+      if (watchdog_ != nullptr) {
+        if (auto stall = watchdog_->observe(now, watchdog_samples())) {
+          handle_stall(*stall);
+        }
+      }
+    });
+  }
+
   // Safety net against modeled livelocks (e.g. infinite RNR retry against
-  // a stopped rank): bound the simulated time.
-  if (sharded_ != nullptr) {
-    sharded_->run_until(sim::TimePoint(cfg_.max_sim_time));
-  } else {
-    serial_->run_until(sim::TimePoint(cfg_.max_sim_time));
+  // a stopped rank): bound the simulated time. An invariant / watchdog
+  // violation (or any engine-context exception) still flushes the
+  // configured exports before propagating — the evidence of a failing run
+  // is worth more than a clean one's.
+  try {
+    if (sharded_ != nullptr) {
+      sharded_->run_until(sim::TimePoint(cfg_.max_sim_time));
+    } else {
+      serial_->run_until(sim::TimePoint(cfg_.max_sim_time));
+    }
+  } catch (...) {
+    procs.clear();  // kill + join the rank threads before touching exports
+    flush_exports();
+    throw;
   }
 
   if (abort_requested_) {
     // Simulated crash (World::abort_run): kill the rank processes where
     // they stand and report the time reached — exactly what a process
-    // death mid-flight leaves behind. No deadlock diagnosis, no exports.
+    // death mid-flight leaves behind. No deadlock diagnosis, but the
+    // configured exports still flush: the crash investigator needs them.
     // A sharded abort lands at a window barrier, so shard clocks agree to
     // within a lookahead; report the furthest one.
     procs.clear();
@@ -303,10 +349,12 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
       reached = std::max(reached, engine_for(r).now());
     }
     elapsed_ = reached;
+    flush_exports();
     return elapsed_;
   }
 
   if (pending_events() > 0) {
+    flush_exports();
     throw DeadlockError("simulation exceeded max_sim_time (livelock?)");
   }
 
@@ -319,12 +367,24 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
   }
   if (!blocked.empty()) {
     procs.clear();  // kill + join the stuck ranks before throwing
+    flush_exports();
     throw DeadlockError("simulation drained with blocked ranks: " + blocked);
   }
 
   elapsed_ = sim::Duration::zero();
   for (auto t : finish) elapsed_ = std::max(elapsed_, t);
 
+  // Final invariant sweep over the settled world: every in-flight term of
+  // the conservation equation must have landed by now.
+  if (cfg_.run.audit) audit_sweep();
+
+  flush_exports();
+  return elapsed_;
+}
+
+void World::flush_exports() {
+  if (exports_flushed_) return;
+  exports_flushed_ = true;
   // Config-driven exports (the RunConfig snapshot of MVFLOW_METRICS /
   // MVFLOW_TRACE / MVFLOW_TRACE_CSV): a metrics snapshot, the Chrome
   // trace, and the credit/backlog CSV, each gated on its own path.
@@ -346,7 +406,196 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
                           "cannot write credit CSV " + cfg_.run.trace_csv_path);
     }
   }
-  return elapsed_;
+}
+
+// ------------------------------------------------------ invariant auditor --
+
+void World::audit_pair(Rank a, Rank b) {
+  Device& da = device(a);
+  Device& db = device(b);
+  if (!da.has_endpoint(b) || !db.has_endpoint(a)) return;
+  const Device::EndpointProbe pa = da.probe(b);  // a's endpoint toward b
+  const Device::EndpointProbe pb = db.probe(a);  // b's endpoint toward a
+  if (!pa.active || !pb.active) return;
+  const bool disturbed =
+      pa.failed || pa.recovering || pb.failed || pb.recovering;
+
+  // Backlog books never pause: entered == dispatched + failed + depth must
+  // hold through faults too (fail_endpoint closes them as it clears).
+  const auto books = [](Rank src, Rank dst, const flowctl::Counters& c,
+                        const Device::EndpointProbe& p) {
+    obs::BacklogBooks bb;
+    bb.src = src;
+    bb.dst = dst;
+    bb.entered = c.backlog_entered;
+    bb.dispatched = c.backlog_dispatched;
+    bb.failed = c.backlog_failed;
+    bb.depth = p.backlog_depth;
+    obs::audit_backlog_books(bb);
+  };
+  books(a, b, da.flow(b).counters(), pa);
+  if (a != b) books(b, a, db.flow(a).counters(), pb);
+
+  // Buffer accounting per endpoint. Safe even on a failed endpoint (the
+  // errored QP flushed its queue, which the ledger counts); skipped only
+  // mid-reconnect, where the fresh QP's ledger restarts while the pool
+  // carries over.
+  const auto buffers = [](Rank owner, Rank peer, std::int64_t posted,
+                          const Device::EndpointProbe& p) {
+    if (p.recovering) return;
+    obs::EndpointBuffers eb;
+    eb.owner = owner;
+    eb.peer = peer;
+    eb.slots = p.slots;
+    eb.retired = p.retired_slots;
+    eb.control_reserve = p.control_reserve;
+    eb.current_posted = posted;
+    eb.wqes_posted = p.wqes_posted;
+    eb.wqes_completed = p.wqes_completed;
+    eb.wqes_flushed = p.wqes_flushed;
+    eb.recvq_depth = p.recvq_depth;
+    eb.assembly_holds_wqe = p.assembly_holds_wqe;
+    obs::audit_buffer_accounting(eb);
+  };
+  buffers(a, b, da.flow(b).current_posted(), pa);
+  if (a != b) buffers(b, a, db.flow(a).current_posted(), pb);
+
+  // Delivery window: the receiver may never be ahead of the sender. A
+  // reconnect replay rewinds nothing (tx_seq is monotonic) but the check
+  // pauses while recovery is mid-rebuild.
+  if (!disturbed) {
+    obs::DeliveryWindow dw;
+    dw.src = a;
+    dw.dst = b;
+    dw.tx_seq = pa.tx_seq;
+    dw.rx_seq = pb.rx_seq;
+    obs::audit_delivery_window(dw);
+    if (a != b) {
+      dw.src = b;
+      dw.dst = a;
+      dw.tx_seq = pb.tx_seq;
+      dw.rx_seq = pa.rx_seq;
+      obs::audit_delivery_window(dw);
+    }
+  }
+
+  // Credit conservation (DESIGN.md §15). The hardware scheme keeps no
+  // MPI-level ledger (every aud_* counter stays zero by design), and a
+  // direction touching a failed / mid-reconnect endpoint is in a declared
+  // inconsistent window — both skip.
+  if (cfg_.flow.scheme == flowctl::Scheme::hardware || disturbed) return;
+  const auto conserve = [this](Rank src, Rank dst,
+                               const flowctl::ConnectionFlow& tx,
+                               const flowctl::ConnectionFlow& rx) {
+    obs::ConnCredit cc;
+    cc.src = src;
+    cc.dst = dst;
+    cc.scheme = std::string(flowctl::to_string(cfg_.flow.scheme));
+    cc.credits = tx.credits();
+    cc.consumed = tx.aud_consumed();
+    cc.received = tx.aud_received();
+    cc.pending_return = rx.pending_return_credits();
+    cc.delivered = rx.aud_delivered();
+    cc.granted = rx.aud_granted();
+    cc.posted = rx.current_posted();
+    obs::audit_credit_conservation(cc);
+  };
+  conserve(a, b, da.flow(b), db.flow(a));
+  if (a != b) conserve(b, a, db.flow(a), da.flow(b));
+}
+
+void World::audit_sweep() {
+  for (Rank a = 0; a < cfg_.num_ranks; ++a) {
+    for (Rank b : device(a).peers()) {
+      if (b >= a) audit_pair(a, b);
+    }
+  }
+}
+
+// ------------------------------------------------------ progress watchdog --
+
+std::vector<sim::WatchdogSample> World::watchdog_samples() const {
+  std::vector<sim::WatchdogSample> out;
+  for (const auto& dev : devices_) {
+    for (Rank peer : dev->peers()) {
+      const Device::EndpointProbe p = dev->probe(peer);
+      if (!p.active || p.failed) continue;
+      const flowctl::Counters& c = dev->flow(peer).counters();
+      sim::WatchdogSample s;
+      s.src = dev->rank();
+      s.dst = peer;
+      s.backlog = p.backlog_depth;
+      s.progress = c.credited_sent + c.ecm_sent +
+                   dev->qp_stats(peer).retransmitted_messages;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void World::watchdog_poll_serial(sim::Duration period) {
+  if (auto stall = watchdog_->observe(serial_->now(), watchdog_samples())) {
+    handle_stall(*stall);
+  }
+  // Stop polling once the queue is otherwise empty: a drained run must
+  // still terminate, and the blocked-ranks DeadlockError diagnosis stays
+  // the authority on true deadlocks.
+  if (serial_->pending_events() > 0) {
+    serial_->schedule_after(period,
+                            [this, period] { watchdog_poll_serial(period); });
+  }
+}
+
+void World::handle_stall(const sim::WatchdogStall& stall) {
+  // Wait-for summary: what each side of the stuck connection is blocked on,
+  // straight from the probes — the first thing a human wants from a hang.
+  std::ostringstream os;
+  os << "no credited send / ECM / retransmit for "
+     << stall.stalled_for.count() << " ns (horizon "
+     << watchdog_->horizon().count() << " ns); backlog=" << stall.backlog
+     << " progress=" << stall.progress;
+  const auto describe = [&os](const char* label,
+                              const Device::EndpointProbe& p) {
+    os << "; " << label << ": backlog=" << p.backlog_depth
+       << " recvq=" << p.recvq_depth << " retired=" << p.retired_slots << "/"
+       << p.slots << (p.famine_rts_inflight ? " famine-rts" : "")
+       << (p.retx_armed ? " retx-armed" : "")
+       << (p.rnr_waiting ? " rnr-waiting" : "")
+       << (p.recovering ? " recovering" : "") << (p.failed ? " failed" : "");
+  };
+  Device& src_dev = device(stall.src);
+  if (src_dev.has_endpoint(stall.dst)) {
+    describe("sender", src_dev.probe(stall.dst));
+    os << " credits=" << src_dev.flow(stall.dst).credits();
+  }
+  Device& dst_dev = device(stall.dst);
+  if (stall.src != stall.dst && dst_dev.has_endpoint(stall.src)) {
+    describe("receiver", dst_dev.probe(stall.src));
+    os << " pending_return=" << dst_dev.flow(stall.src).pending_return_credits();
+  }
+  const std::string detail = os.str();
+  util::Logger::write(util::LogLevel::error, "watchdog",
+                      "stall on " + std::to_string(stall.src) + "->" +
+                          std::to_string(stall.dst) + ": " + detail);
+
+  // Stall artifacts: a full metrics snapshot, and (when configured and the
+  // workload is registered) a best-effort world checkpoint. The capture
+  // runs mid-event / mid-window rather than at an armed watchpoint, so it
+  // is a diagnostic artifact — the restore audit's bit-exactness guarantee
+  // applies only to barrier-aligned checkpoints (DESIGN.md §13).
+  if (!cfg_.run.watchdog_dump_path.empty()) {
+    metrics_.snapshot().write_json(cfg_.run.watchdog_dump_path);
+  }
+  if (!cfg_.run.watchdog_ckpt_path.empty() && workload_.has_value()) {
+    try {
+      ckpt::write_snapshot(ckpt::capture(*this), cfg_.run.watchdog_ckpt_path);
+    } catch (const std::exception& e) {
+      util::Logger::write(util::LogLevel::error, "watchdog",
+                          std::string("stall checkpoint failed: ") + e.what());
+    }
+  }
+  flush_exports();
+  throw sim::WatchdogError(stall.src, stall.dst, detail);
 }
 
 WorldStats World::collect_stats() const {

@@ -23,6 +23,7 @@
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/sharded.hpp"
+#include "sim/watchdog.hpp"
 
 namespace mvflow::mpi {
 
@@ -189,6 +190,29 @@ class World {
   /// Collect per-connection / per-device / fabric statistics.
   WorldStats collect_stats() const;
 
+  // ---- invariant auditor (obs/audit.hpp, DESIGN.md §15) ----
+  /// Auditor armed for this world (run config's MVFLOW_AUDIT snapshot).
+  bool audit_enabled() const noexcept { return cfg_.run.audit; }
+  /// Serial worlds check inline after every delivered message (Device
+  /// caches this at construction); sharded worlds sweep at barriers.
+  bool audit_inline() const noexcept {
+    return cfg_.run.audit && sharded_ == nullptr;
+  }
+  /// Check every invariant on the (a, b) connection pair, both directions:
+  /// credit conservation, backlog books, delivery window, and buffer
+  /// accounting. Throws obs::AuditError naming the direction and section.
+  void audit_pair(Rank a, Rank b);
+  /// audit_pair over every wired pair — the sharded barrier sweep and the
+  /// end-of-run final check; public so tests can force a sweep.
+  void audit_sweep();
+
+  /// Write the configured end-of-run artifacts (metrics snapshot, Chrome
+  /// trace, credit CSV) now, once: run() calls it on every exit path —
+  /// clean end, abort_run, deadlock diagnosis, audit/watchdog failure — so
+  /// a failing run still leaves its evidence on disk (satellite: DESIGN.md
+  /// §15). Idempotent; subsequent calls are no-ops.
+  void flush_exports();
+
   /// Unified metrics registry: the engine, fabric, pool, per-device and
   /// per-connection stats all register sources here; one snapshot() yields
   /// the whole stack's counters as a flat document (DESIGN.md §11).
@@ -217,6 +241,18 @@ class World {
   obs::LatencyBreakdown merged_latency() const;
 
  private:
+  /// One progress sample per live connection (sender side), fed to the
+  /// watchdog: backlog depth + a monotonic progress counter (credited
+  /// sends + ECMs + transport retransmits).
+  std::vector<sim::WatchdogSample> watchdog_samples() const;
+  /// Serial engine driving: self-rescheduling poll event. Stops once the
+  /// queue is otherwise empty so runs still drain (and the DeadlockError
+  /// diagnosis stays intact).
+  void watchdog_poll_serial(sim::Duration period);
+  /// Diagnose a detected stall: wait-for summary, metrics dump, optional
+  /// checkpoint capture, export flush — then throw sim::WatchdogError.
+  [[noreturn]] void handle_stall(const sim::WatchdogStall& stall);
+
   WorldConfig cfg_;
   // Exactly one of these two is non-null for the world's lifetime,
   // according to cfg_.engine_threads.
@@ -241,6 +277,8 @@ class World {
   sim::Duration elapsed_{0};
   bool ran_ = false;
   bool abort_requested_ = false;
+  bool exports_flushed_ = false;
+  std::unique_ptr<sim::Watchdog> watchdog_;
   std::optional<WorkloadSpec> workload_;
 };
 

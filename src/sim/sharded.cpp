@@ -196,6 +196,8 @@ std::size_t ShardedEngine::run_until(TimePoint t_max) {
     ++stats_.windows;
     drain_outboxes();
     fire_due_watchpoints();
+    // Coordinator thread, workers parked: safe for cross-shard reads.
+    if (barrier_hook_) barrier_hook_(cap);
   }
   // Align every shard clock with the caller's horizon (mirrors
   // Engine::run_until advancing now() even when the queue drains early) —

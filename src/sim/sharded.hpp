@@ -126,6 +126,17 @@ class ShardedEngine {
   /// registration order, on the coordinator thread.
   void set_watchpoint(std::uint64_t executed, std::function<void()> fn);
 
+  /// Barrier hook: runs on the coordinator thread at the end of every
+  /// window barrier (after cross posts are applied and watchpoints fired),
+  /// with every shard quiescent — the one place cross-shard reads are safe
+  /// while the loop runs. The argument is the window cap (the sim time the
+  /// shards have reached). The auditor's sharded sweep and the watchdog
+  /// tick live here; an exception thrown by the hook aborts run_until and
+  /// propagates to the caller.
+  void set_barrier_hook(std::function<void(TimePoint)> fn) {
+    barrier_hook_ = std::move(fn);
+  }
+
   /// Per-shard thread-context hooks: `enter(s)` runs on the thread about
   /// to execute shard s's window (bind the shard recorder / logger),
   /// `exit(s)` after it finishes (even on error). Barrier-drain closures run
@@ -161,6 +172,7 @@ class ShardedEngine {
   ShardedStats stats_;
   std::function<void(std::size_t)> enter_shard_;
   std::function<void(std::size_t)> exit_shard_;
+  std::function<void(TimePoint)> barrier_hook_;
   std::vector<std::pair<std::uint64_t, std::function<void()>>> watchpoints_;
   std::vector<CrossPost> drain_scratch_;
 

@@ -1,0 +1,48 @@
+#include "sim/watchdog.hpp"
+
+#include <sstream>
+
+namespace mvflow::sim {
+
+namespace {
+
+std::string compose(int src, int dst, const std::string& detail) {
+  std::ostringstream os;
+  os << "watchdog stall on connection " << src << "->" << dst << ": "
+     << detail;
+  return os.str();
+}
+
+}  // namespace
+
+WatchdogError::WatchdogError(int src, int dst, const std::string& detail)
+    : std::runtime_error(compose(src, dst, detail)), src_(src), dst_(dst) {}
+
+std::optional<WatchdogStall> Watchdog::observe(
+    TimePoint now, const std::vector<WatchdogSample>& samples) {
+  std::optional<WatchdogStall> hit;
+  for (const WatchdogSample& s : samples) {
+    State& st = state_[{s.src, s.dst}];
+    if (s.backlog != st.backlog || s.progress != st.progress) {
+      st.backlog = s.backlog;
+      st.progress = s.progress;
+      st.since = now;
+      continue;
+    }
+    if (st.backlog == 0) continue;
+    const Duration frozen = now - st.since;
+    if (frozen >= horizon_ && !hit) {
+      WatchdogStall stall;
+      stall.src = s.src;
+      stall.dst = s.dst;
+      stall.backlog = st.backlog;
+      stall.progress = st.progress;
+      stall.since = st.since;
+      stall.stalled_for = frozen;
+      hit = stall;
+    }
+  }
+  return hit;
+}
+
+}  // namespace mvflow::sim

@@ -258,9 +258,32 @@ TEST(ShardedWorld, RejectsOnDemandConnections) {
   EXPECT_THROW(mpi::World world(cfg), std::invalid_argument);
 }
 
-TEST(ShardedWorld, RejectsFaultInjection) {
+// Random fault injection now runs on the sharded engine (one dedicated RNG
+// stream per source node, chaos campaigns depend on it); what stays
+// rejected is auto-reconnect under faults (recover_pair mutates both
+// shards) and scripted faults that do not pin their source node.
+TEST(ShardedWorld, AcceptsRandomFaultInjection) {
+  mpi::WorldConfig cfg = sharded_world(2, 2);
+  cfg.fabric.fault.loss_prob = 0.05;
+  cfg.fabric.transport_timeout = sim::microseconds(50);
+  cfg.fabric.transport_retry_limit = -1;
+  mpi::World world(cfg);
+  world.set_workload(allpairs_spec());
+  EXPECT_GT(world.run_workload().count(), 0);
+  EXPECT_GT(world.collect_stats().fabric.lost_packets, 0u)
+      << "the sharded injector must actually drop packets";
+}
+
+TEST(ShardedWorld, RejectsAutoReconnectUnderFaultInjection) {
   mpi::WorldConfig cfg = sharded_world(2, 2);
   cfg.fabric.fault.loss_prob = 0.01;
+  cfg.device.auto_reconnect = true;
+  EXPECT_THROW(mpi::World world(cfg), std::invalid_argument);
+}
+
+TEST(ShardedWorld, RejectsUnpinnedScriptedFault) {
+  mpi::WorldConfig cfg = sharded_world(2, 2);
+  cfg.fabric.fault.scripted.push_back(ib::ScriptedFault{});  // src_node = -1
   EXPECT_THROW(mpi::World world(cfg), std::invalid_argument);
 }
 

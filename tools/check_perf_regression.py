@@ -51,6 +51,21 @@ SPECS = {
         "metrics": [("identical", "exact")],
         "meta": [],
     },
+    "chaos_campaign": {
+        # Per-cell points carry no stable identity fields (cell labels are
+        # strings); everything worth gating is top-level. `violations` and
+        # `identical` are correctness verdicts and must match the baseline
+        # (0 and 1) exactly. `audit_overhead_ratio` is audit-on wall time
+        # over audit-off on the same fault-free bandwidth run: gating it
+        # "lower" bounds what arming the auditor may cost, while the
+        # auditor-*disabled* hot path (the default everywhere else) stays
+        # gated by the ordinary throughput specs above — every other bench
+        # runs with MVFLOW_AUDIT unset.
+        "key": (),
+        "metrics": [],
+        "meta": [("violations", "exact"), ("identical", "exact"),
+                 ("audit_overhead_ratio", "lower")],
+    },
 }
 
 
