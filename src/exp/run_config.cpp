@@ -52,6 +52,7 @@ RunConfig RunConfig::from_env() {
   cfg.trace_path = env_or_empty("MVFLOW_TRACE");
   cfg.trace_csv_path = env_or_empty("MVFLOW_TRACE_CSV");
   cfg.trace_capacity = env_capacity("MVFLOW_TRACE_CAPACITY");
+  cfg.prof_path = env_or_empty("MVFLOW_PROF");
   const std::string ck = env_or_empty("MVFLOW_CHECKPOINT");
   if (!ck.empty()) cfg.parse_checkpoint(ck);
   const std::string audit = env_or_empty("MVFLOW_AUDIT");
@@ -75,6 +76,7 @@ RunConfig RunConfig::quiet() const {
   cfg.metrics_path.clear();
   cfg.trace_path.clear();
   cfg.trace_csv_path.clear();
+  cfg.prof_path.clear();
   cfg.checkpoint_path.clear();
   cfg.checkpoint_events.clear();
   // The auditor and watchdog stay armed (they are checks, not exports);

@@ -52,6 +52,13 @@ struct RunConfig {
     return !trace_path.empty() || !trace_csv_path.empty();
   }
 
+  /// Causal profiler export ($MVFLOW_PROF, DESIGN.md §16): arm the
+  /// profiler and write the analyzed profile JSON here at world teardown.
+  /// "-" writes to stdout. Empty = profiler disarmed (zero cost).
+  std::string prof_path;
+
+  bool prof_enabled() const noexcept { return !prof_path.empty(); }
+
   /// Invariant auditor ($MVFLOW_AUDIT = 1): run the credit-conservation /
   /// buffer-accounting / delivery checks (obs/audit.hpp, DESIGN.md §15)
   /// inline after every delivered message (serial engine) or at every

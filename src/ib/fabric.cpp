@@ -277,7 +277,13 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
       lost = !apply_faults(src_node, dst_node, pkt, fault_rng_for(src_node),
                            up_start);
     }
-    auto finish = [this, dst_node, at_switch, ser, lost,
+    // The profiler's causal token does not cross the shard boundary by
+    // itself (the post drains in coordinator context at the barrier), so
+    // carry it in the closure and re-establish it around the destination
+    // scheduling — the delivery event then inherits the same cause it
+    // would have inherited on the serial path.
+    const std::uint64_t cause = engine_for(src_node).cause();
+    auto finish = [this, dst_node, at_switch, ser, lost, cause,
                    p = std::move(pkt)]() mutable {
       const sim::TimePoint down_start =
           down_[dst_node].reserve(at_switch + config_.switch_latency, ser);
@@ -289,7 +295,11 @@ void Fabric::transmit(int src_node, int dst_node, Packet pkt,
       static_assert(sizeof(delivery) <= sim::Engine::kEventInlineBytes,
                     "packet-delivery closure no longer fits the engine's "
                     "inline event storage");
-      engine_for(dst_node).schedule_at(arrive, std::move(delivery));
+      sim::Engine& dst_engine = engine_for(dst_node);
+      const std::uint64_t prev = dst_engine.cause();
+      dst_engine.set_cause(cause);
+      dst_engine.schedule_at(arrive, std::move(delivery));
+      dst_engine.set_cause(prev);
     };
     static_assert(sizeof(finish) <= sim::ShardedEngine::kPostInlineBytes,
                   "cross-shard packet closure no longer fits the sharded "

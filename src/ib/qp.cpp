@@ -6,6 +6,7 @@
 #include "ib/cq.hpp"
 #include "ib/fabric.hpp"
 #include "ib/hca.hpp"
+#include "obs/prof.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
 #include "util/serial.hpp"
@@ -94,6 +95,7 @@ void QueuePair::post_send(const SendWr& wr) {
     rec.record(ps.posted_at, obs::Ev::msg_posted, hca_.node_id(), remote_node_,
                qpn_, ps.msn, wr.length);
   }
+  if (obs::profiler().enabled()) ps.prof_posted = hca_.engine().now();
   pending_tx_.push_back(std::move(ps));
   pump_tx();
 }
@@ -186,6 +188,16 @@ void QueuePair::transmit_message(PendingSend& ps) {
         rec.record(now, obs::Ev::msg_segmented, me, remote_node_, qpn_, ps.msn,
                    count);
     }
+  }
+  if (obs::profiler().enabled()) {
+    // last_tx always tracks the latest transmission start; first_tx only the
+    // first — their gap is exactly the profiler's retransmit segment.
+    if (ps.retransmission) {
+      ++ps.prof_retx;
+    } else {
+      ps.prof_first_tx = now;
+    }
+    ps.prof_last_tx = now;
   }
   std::uint32_t remaining = ps.data->length;
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -590,6 +602,25 @@ void QueuePair::retire_acked_() {
       rec.record(now, obs::Ev::msg_acked, hca_.node_id(), remote_node_, qpn_,
                  ps.msn, ps.data ? ps.data->length : 0);
       if (ps.first_tx_at.count() >= 0) rec.note_wire_to_ack(now - ps.first_tx_at);
+    }
+    if (auto& prof = obs::profiler();
+        prof.enabled() && ps.prof_first_tx.count() >= 0) {
+      // The ACK retiring the WQE is the commit point for the whole QP-level
+      // lifecycle of this message. wr_id is the device's tx id, the offline
+      // join key against the dev_send record.
+      obs::ProfRecord r;
+      r.family = obs::ProfFamily::qp_send;
+      r.msg_kind = static_cast<std::uint8_t>(ps.wr.opcode);
+      r.src = static_cast<std::int16_t>(hca_.node_id());
+      r.dst = static_cast<std::int16_t>(remote_node_);
+      r.bytes = ps.data ? ps.data->length : 0;
+      r.n_retx = ps.prof_retx;
+      r.aux = ps.wr.wr_id;
+      r.t0 = ps.prof_posted;
+      r.t1 = ps.prof_first_tx;
+      r.t2 = ps.prof_last_tx;
+      r.t3 = hca_.engine().now();
+      prof.record(r);
     }
     WcOpcode op = WcOpcode::send;
     if (ps.wr.opcode == WrOpcode::rdma_write) op = WcOpcode::rdma_write;

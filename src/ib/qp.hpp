@@ -114,6 +114,14 @@ class QueuePair {
     // stamps are only taken while the recorder is enabled).
     sim::TimePoint posted_at{-1};
     sim::TimePoint first_tx_at{-1};
+    // Profiler lifecycle stamps (obs::Profiler, taken only while armed).
+    // Committed as one qp_send record when the ACK retires the WQE; none of
+    // these are serialized — like the recorder stamps, they are observer
+    // state, not protocol state.
+    sim::TimePoint prof_posted{-1};
+    sim::TimePoint prof_first_tx{-1};
+    sim::TimePoint prof_last_tx{-1};
+    std::uint32_t prof_retx = 0;
   };
 
   void pump_tx();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mpi/world.hpp"
+#include "obs/prof.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
 #include "util/serial.hpp"
@@ -12,6 +13,16 @@ namespace mvflow::mpi {
 
 namespace {
 constexpr std::size_t kBounceChunk = 64;  // bounce slots added per arena
+
+/// Deterministic chain id of one wire message: the same value the offline
+/// analysis derives from (src, dst, seq), so the engine's causal token can
+/// be checked against the profile without any shared counter (counters
+/// would diverge between serial and sharded execution orders).
+std::uint64_t prof_chain_id(Rank src, Rank dst, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(src)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(dst)) << 32) |
+         (seq & 0xffffffffull);
+}
 }
 
 Device::Device(World& world, Rank me) : world_(world), me_(me) {
@@ -239,6 +250,7 @@ void Device::send_credited(Endpoint& ep, WireHeader hdr,
       rec.record(engine().now(), obs::Ev::credit_consume, me_, ep.peer,
                  ep.qp->qpn(), 1, ep.flow.credits());
     }
+    if (obs::profiler().enabled()) prof_note_credits(ep);
     post_wire(ep, hdr, payload);
     if (eager_req) eager_req->mark_complete();  // buffered-send semantics
     return;
@@ -250,6 +262,7 @@ void Device::send_credited(Endpoint& ep, WireHeader hdr,
   entry.eager_req = std::move(eager_req);
   const sim::TimePoint now = engine().now();
   entry.enqueued_at = now;
+  if (obs::profiler().enabled()) entry.prof_zero_base = prof_zero_total(ep, now);
   ep.backlog.push_back(std::move(entry));
   if (auto& rec = obs::recorder(); rec.enabled()) {
     rec.record(now, obs::Ev::backlog_enter, me_, ep.peer, ep.qp->qpn(),
@@ -270,6 +283,13 @@ void Device::drain_backlog(Endpoint& ep) {
       rec.record(now, obs::Ev::backlog_dispatch, me_, ep.peer, ep.qp->qpn(),
                  ep.backlog.size(), ep.flow.credits());
       rec.note_backlog_residency(now - entry.enqueued_at);
+    }
+    if (obs::profiler().enabled()) {
+      const auto now = engine().now();
+      prof_note_credits(ep);
+      ep.prof_next_post = entry.enqueued_at;
+      ep.prof_next_disp = now;
+      ep.prof_next_zero = prof_zero_total(ep, now) - entry.prof_zero_base;
     }
     entry.hdr.backlogged = 1;  // dynamic-scheme feedback bit
     post_wire(ep, entry.hdr, entry.payload);
@@ -301,6 +321,12 @@ void Device::dispatch_famine_head(Endpoint& ep) {
     rec.record(now, obs::Ev::backlog_dispatch, me_, ep.peer, ep.qp->qpn(),
                ep.backlog.size(), ep.flow.credits());
     rec.note_backlog_residency(now - entry.enqueued_at);
+  }
+  if (obs::profiler().enabled()) {
+    const auto now = engine().now();
+    ep.prof_next_post = entry.enqueued_at;
+    ep.prof_next_disp = now;
+    ep.prof_next_zero = prof_zero_total(ep, now) - entry.prof_zero_base;
   }
   ep.famine_rts_inflight = true;
 
@@ -375,6 +401,46 @@ void Device::post_wire(Endpoint& ep, WireHeader hdr,
   ctx.peer = ep.peer;
   ctx.wr = wr;
   tx_.emplace(txid, std::move(ctx));
+  if (auto& prof = obs::profiler(); prof.enabled()) {
+    obs::ProfRecord r;
+    r.family = obs::ProfFamily::dev_send;
+    r.msg_kind = static_cast<std::uint8_t>(hdr.kind);
+    r.src = static_cast<std::int16_t>(me_);
+    r.dst = static_cast<std::int16_t>(ep.peer);
+    r.bytes = hdr.payload_bytes;
+    r.seq = hdr.seq;
+    r.aux = txid;
+    const sim::TimePoint now = engine().now();
+    r.t1 = now;
+    if (ep.prof_next_post.count() >= 0) {
+      // Dispatched from the backlog: the dispatcher left the original post
+      // time, the residency endpoint and the zero-credit overlap behind.
+      r.t0 = ep.prof_next_post;
+      r.t2 = ep.prof_next_disp;
+      r.zero_ns = ep.prof_next_zero;
+      r.flags |= obs::kProfBacklogged;
+      ep.prof_next_post = sim::TimePoint{-1};
+      ep.prof_next_disp = sim::TimePoint{-1};
+      ep.prof_next_zero = 0;
+    } else {
+      r.t0 = now;
+    }
+    if (is_credited(hdr.kind)) r.flags |= obs::kProfPayload;
+    if (hdr.optimistic != 0) r.flags |= obs::kProfOptimistic;
+    if (r.zero_ns > 0 && ep.prof_grant_seq != obs::kProfNoSeq) {
+      r.grant_seq = ep.prof_grant_seq;
+      if (ep.prof_grant_ecm) r.flags |= obs::kProfGrantEcm;
+    }
+    prof.record(r);
+    // Every event this post cascades into — fabric hops, the receiver's
+    // completion, the returning ACK — inherits this message's chain id
+    // through the engine's causal token.
+    const std::uint64_t prev = engine().cause();
+    engine().set_cause(prof_chain_id(me_, ep.peer, hdr.seq));
+    ep.qp->post_send(wr);
+    engine().set_cause(prev);
+    return;
+  }
   ep.qp->post_send(wr);
 }
 
@@ -406,7 +472,20 @@ RequestPtr Device::irecv(Rank src, Tag tag, std::span<std::byte> buffer) {
                     um->eager_payload.size());
       req->mark_complete(Status{um->src, um->tag,
                                 static_cast<std::uint32_t>(um->eager_payload.size())});
+      if (um->prof_seq != obs::kProfNoSeq) {
+        prof_record_recv(um->src, um->prof_seq,
+                         static_cast<std::uint8_t>(MsgKind::eager_data),
+                         obs::kProfUnexpected,
+                         static_cast<std::uint32_t>(um->eager_payload.size()),
+                         um->prof_arrival, engine().now(), um->prof_cause);
+      }
       return req;
+    }
+    if (um->prof_seq != obs::kProfNoSeq) {
+      prof_record_recv(um->src, um->prof_seq,
+                       static_cast<std::uint8_t>(MsgKind::rndv_rts),
+                       obs::kProfUnexpected, um->rndv_bytes, um->prof_arrival,
+                       engine().now(), um->prof_cause);
     }
     begin_recv_rndv(um->src, um->tag, um->rndv_sreq, um->rndv_bytes,
                     buffer.data(), req);
@@ -466,7 +545,7 @@ void Device::handle_completion(const ib::Completion& wc) {
     return;
   }
   if (wc.opcode == ib::WcOpcode::recv) {
-    handle_inbound(ep, wc.wr_id, wc.byte_len);
+    handle_inbound(ep, wc.wr_id, wc.byte_len, wc.cause);
     return;
   }
   // Send-side completion: bounce release or rendezvous RDMA-write done.
@@ -618,6 +697,19 @@ void Device::finish_reconnect(Rank peer, int peer_posted) {
   ep.flow.reconnect_reset(peer_posted - credited_replays +
                               world_.config().device.debug_skew_reconnect_credit,
                           credited_replays);
+  if (obs::profiler().enabled()) {
+    // The credit exchange restarts from scratch: close any open zero-credit
+    // episode, forget the stale grant, and reopen only if the reset pool is
+    // already empty.
+    const auto now = engine().now();
+    if (ep.prof_zero_since.count() >= 0) {
+      ep.prof_cum_zero += (now - ep.prof_zero_since).count();
+      ep.prof_zero_since = sim::TimePoint{-1};
+    }
+    if (ep.flow.credits() == 0) ep.prof_zero_since = now;
+    ep.prof_grant_seq = obs::kProfNoSeq;
+    ep.prof_grant_ecm = false;
+  }
   ep.failed = false;
   ep.recovering = false;
   ++stats_.reconnects;
@@ -626,9 +718,11 @@ void Device::finish_reconnect(Rank peer, int peer_posted) {
 }
 
 void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
-                            std::uint32_t byte_len) {
+                            std::uint32_t byte_len, std::uint64_t cause) {
   (void)byte_len;
   const auto& dcfg = world_.config().device;
+  // Wire-arrival checkpoint, before any handling overhead is charged.
+  const sim::TimePoint prof_arrival = engine().now();
   // Copy, not reference: growing the pool below reallocates ep.slots.
   const RecvSlot slot = ep.slots.at(slot_idx);
   const WireHeader hdr = read_header(slot.addr);
@@ -663,17 +757,25 @@ void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
                  ep.qp->qpn(), static_cast<std::uint64_t>(hdr.piggyback_credits),
                  ep.flow.credits());
     }
+    if (obs::profiler().enabled()) prof_note_grant(ep, hdr);
   }
   if (hdr.backlogged != 0) {
     const int extra = ep.flow.on_backlogged_flag();
     if (extra > 0) grow_recv_slots(ep, extra);
   }
 
+  // Control messages have no MPI-level receive: their lifecycle completes
+  // at arrival, so the receiver-side record closes with matched == arrival.
+  if (!is_credited(hdr.kind)) {
+    prof_record_recv(ep.peer, hdr.seq, static_cast<std::uint8_t>(hdr.kind), 0,
+                     0, prof_arrival, prof_arrival, cause);
+  }
+
   switch (hdr.kind) {
     case MsgKind::eager_data:
-      deliver_eager(ep, hdr, slot.addr + kHeaderBytes);
+      deliver_eager(ep, hdr, slot.addr + kHeaderBytes, prof_arrival, cause);
       break;
-    case MsgKind::rndv_rts: handle_rts(ep, hdr); break;
+    case MsgKind::rndv_rts: handle_rts(ep, hdr, prof_arrival, cause); break;
     case MsgKind::rndv_cts: handle_cts(ep, hdr); break;
     case MsgKind::rndv_fin: handle_fin(ep, hdr); break;
     case MsgKind::credit: break;  // piggyback field already consumed
@@ -704,7 +806,8 @@ void Device::handle_inbound(Endpoint& ep, std::uint64_t slot_idx,
 }
 
 void Device::deliver_eager(Endpoint& ep, const WireHeader& hdr,
-                           const std::byte* payload) {
+                           const std::byte* payload, sim::TimePoint arrival,
+                           std::uint64_t cause) {
   charge_copy(hdr.payload_bytes);
   if (auto pr = match_.match_inbound(ep.peer, hdr.tag)) {
     util::require(hdr.payload_bytes <= pr->capacity,
@@ -712,19 +815,29 @@ void Device::deliver_eager(Endpoint& ep, const WireHeader& hdr,
     if (hdr.payload_bytes > 0)  // zero-byte recv may carry a null buffer
       std::memcpy(pr->buffer, payload, hdr.payload_bytes);
     pr->req->mark_complete(Status{ep.peer, hdr.tag, hdr.payload_bytes});
+    prof_record_recv(ep.peer, hdr.seq, static_cast<std::uint8_t>(hdr.kind), 0,
+                     hdr.payload_bytes, arrival, engine().now(), cause);
     return;
   }
   UnexpectedMsg um;
   um.src = ep.peer;
   um.tag = hdr.tag;
   um.eager_payload.assign(payload, payload + hdr.payload_bytes);
+  if (obs::profiler().enabled()) {
+    um.prof_arrival = arrival;
+    um.prof_seq = hdr.seq;
+    um.prof_cause = cause;
+  }
   match_.add_unexpected(std::move(um));
 }
 
-void Device::handle_rts(Endpoint& ep, const WireHeader& hdr) {
+void Device::handle_rts(Endpoint& ep, const WireHeader& hdr,
+                        sim::TimePoint arrival, std::uint64_t cause) {
   if (auto pr = match_.match_inbound(ep.peer, hdr.tag)) {
     util::require(hdr.payload_bytes <= pr->capacity,
                   "receive buffer too small (truncation)");
+    prof_record_recv(ep.peer, hdr.seq, static_cast<std::uint8_t>(hdr.kind), 0,
+                     hdr.payload_bytes, arrival, engine().now(), cause);
     begin_recv_rndv(ep.peer, hdr.tag, hdr.sreq, hdr.payload_bytes, pr->buffer,
                     pr->req);
     return;
@@ -735,6 +848,11 @@ void Device::handle_rts(Endpoint& ep, const WireHeader& hdr) {
   um.is_rndv = true;
   um.rndv_bytes = hdr.payload_bytes;
   um.rndv_sreq = hdr.sreq;
+  if (obs::profiler().enabled()) {
+    um.prof_arrival = arrival;
+    um.prof_seq = hdr.seq;
+    um.prof_cause = cause;
+  }
   match_.add_unexpected(std::move(um));
 }
 
@@ -802,6 +920,54 @@ bool Device::test(const RequestPtr& req) {
   util::require(req != nullptr, "test on null request");
   progress();
   return req->complete();
+}
+
+// ------------------------------------------------------- profiler hooks --
+
+std::int64_t Device::prof_zero_total(const Endpoint& ep, sim::TimePoint now) {
+  std::int64_t total = ep.prof_cum_zero;
+  if (ep.prof_zero_since.count() >= 0)
+    total += (now - ep.prof_zero_since).count();
+  return total;
+}
+
+void Device::prof_note_credits(Endpoint& ep) {
+  // Credits only leave through try_acquire_credit, so checking after each
+  // successful acquire catches every pool-emptying transition.
+  if (ep.flow.credits() == 0 && ep.prof_zero_since.count() < 0)
+    ep.prof_zero_since = engine().now();
+}
+
+void Device::prof_note_grant(Endpoint& ep, const WireHeader& hdr) {
+  if (ep.prof_zero_since.count() < 0 || ep.flow.credits() <= 0) return;
+  // This grant ends the famine: close the episode and remember the grant's
+  // identity — it is the causal predecessor of whichever blocked message
+  // dispatches next, and the ECM-vs-piggyback distinction decides whether
+  // that message's stall is attributed as an explicit-credit round trip.
+  ep.prof_cum_zero += (engine().now() - ep.prof_zero_since).count();
+  ep.prof_zero_since = sim::TimePoint{-1};
+  ep.prof_grant_seq = hdr.seq;
+  ep.prof_grant_ecm = hdr.kind == MsgKind::credit;
+}
+
+void Device::prof_record_recv(Rank src, std::uint64_t seq, std::uint8_t kind,
+                              std::uint8_t flags, std::uint32_t bytes,
+                              sim::TimePoint arrival, sim::TimePoint matched,
+                              std::uint64_t cause) {
+  auto& prof = obs::profiler();
+  if (!prof.enabled()) return;
+  obs::ProfRecord r;
+  r.family = obs::ProfFamily::dev_recv;
+  r.msg_kind = kind;
+  r.flags = flags;
+  r.src = static_cast<std::int16_t>(src);
+  r.dst = static_cast<std::int16_t>(me_);
+  r.bytes = bytes;
+  r.seq = seq;
+  r.aux = cause;  // the sender's chain id, carried by the causal token
+  r.t0 = arrival;
+  r.t1 = matched;
+  prof.record(r);
 }
 
 // --------------------------------------------------------- introspection --

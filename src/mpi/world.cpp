@@ -59,6 +59,9 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   // restored at destruction, so worlds nest on a thread and concurrent
   // worlds on different threads never see each other's rings.
   prev_recorder_ = obs::bind_recorder(&recorder_);
+  // The causal profiler binds identically (DESIGN.md §16); it stays
+  // disabled — one predictable branch per site — unless this world arms it.
+  prev_profiler_ = obs::bind_profiler(&prof_);
 
   // A requested trace export arms the recorder for this world's lifetime.
   const std::size_t trace_capacity =
@@ -67,6 +70,7 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   if (cfg_.run.trace_enabled()) {
     recorder_.enable(trace_capacity);
   }
+  if (prof_enabled()) prof_.enable();
 
   if (cfg_.engine_threads > 0) {
     // Sharded world: one engine shard per rank. Connections must exist
@@ -92,19 +96,30 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
     // a window at that shard's recorder. Content per shard is a function of
     // that shard's (deterministic) event sequence — worker count invisible.
     shard_recorders_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
+    shard_profilers_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
     for (int s = 0; s < cfg_.num_ranks; ++s) {
       auto rec = std::make_unique<obs::FlightRecorder>();
       if (cfg_.run.trace_enabled()) rec->enable(trace_capacity);
       shard_recorders_.push_back(std::move(rec));
+      auto prof = std::make_unique<obs::Profiler>();
+      if (prof_enabled()) prof->enable();
+      shard_profilers_.push_back(std::move(prof));
     }
     shard_prev_bindings_.assign(static_cast<std::size_t>(cfg_.num_ranks),
                                 nullptr);
+    shard_prev_profilers_.assign(static_cast<std::size_t>(cfg_.num_ranks),
+                                 nullptr);
     sharded_->set_shard_hooks(
         [this](std::size_t s) {
           shard_prev_bindings_[s] =
               obs::bind_recorder(shard_recorders_[s].get());
+          shard_prev_profilers_[s] =
+              obs::bind_profiler(shard_profilers_[s].get());
         },
-        [this](std::size_t s) { obs::bind_recorder(shard_prev_bindings_[s]); });
+        [this](std::size_t s) {
+          obs::bind_recorder(shard_prev_bindings_[s]);
+          obs::bind_profiler(shard_prev_profilers_[s]);
+        });
   } else {
     serial_ = std::make_unique<sim::Engine>(cfg_.scheduler);
     fabric_ = std::make_unique<ib::Fabric>(*serial_, cfg_.fabric,
@@ -128,6 +143,14 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   metrics_.add_source("latency.", [this](const obs::MetricsRegistry::EmitFn& e) {
     merged_latency().visit(e);
   });
+  if (prof_enabled()) {
+    // Run-level blame (per segment, per connection direction, per link).
+    // Registered only when armed: each snapshot re-joins the record buffers,
+    // which is an end-of-run cost, not something a disarmed world pays.
+    metrics_.add_source("prof.", [this](const obs::MetricsRegistry::EmitFn& e) {
+      obs::emit_metrics(prof_analysis(), e);
+    });
+  }
 
   devices_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
   for (Rank r = 0; r < cfg_.num_ranks; ++r) {
@@ -144,7 +167,10 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
   }
 }
 
-World::~World() { obs::bind_recorder(prev_recorder_); }
+World::~World() {
+  obs::bind_recorder(prev_recorder_);
+  obs::bind_profiler(prev_profiler_);
+}
 
 std::uint64_t World::executed_events() const noexcept {
   return sharded_ != nullptr ? sharded_->total_executed()
@@ -197,6 +223,16 @@ obs::LatencyBreakdown World::merged_latency() const {
   obs::LatencyBreakdown out = recorder_.latency();
   for (const auto& rec : shard_recorders_) out.merge(rec->latency());
   return out;
+}
+
+obs::Profiler World::merged_prof() const {
+  obs::Profiler out = prof_;
+  for (const auto& p : shard_profilers_) out.absorb(*p);
+  return out;
+}
+
+obs::ProfileAnalysis World::prof_analysis() const {
+  return obs::analyze(merged_prof().records());
 }
 
 void World::wire_pair(Rank a, Rank b) {
@@ -253,6 +289,7 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
   // sweep pool need not be the constructing thread — rebind for the
   // duration so engine-context instrumentation lands in this world's ring.
   obs::RecorderBinding engine_thread_binding(&recorder_);
+  obs::ProfilerBinding engine_thread_prof_binding(&prof_);
 
   std::vector<sim::TimePoint> finish(static_cast<std::size_t>(cfg_.num_ranks));
   std::vector<std::unique_ptr<sim::Process>> procs;
@@ -271,6 +308,10 @@ sim::Duration World::run(const std::vector<RankBody>& bodies) {
                                  ? shard_recorders_[static_cast<std::size_t>(r)]
                                        .get()
                                  : &recorder_);
+          obs::bind_profiler(sharded_ != nullptr
+                                 ? shard_profilers_[static_cast<std::size_t>(r)]
+                                       .get()
+                                 : &prof_);
           Device& dev = device(r);
           dev.bind_process(p);
           Communicator comm(*this, dev, p);
@@ -391,14 +432,34 @@ void World::flush_exports() {
   if (!cfg_.run.metrics_path.empty()) {
     metrics_.snapshot().write_json(cfg_.run.metrics_path);
   }
+  // The profile analysis feeds two artifacts: the $MVFLOW_PROF JSON and the
+  // Chrome-trace flow arrows. Join once, use for both.
+  obs::ProfileAnalysis analysis;
+  const bool have_analysis =
+      prof_enabled() &&
+      (cfg_.run.prof_enabled() || cfg_.run.trace_enabled());
+  if (have_analysis) analysis = prof_analysis();
+  if (cfg_.run.prof_enabled() &&
+      !obs::write_profile(cfg_.run.prof_path, analysis, "run")) {
+    util::Logger::write(util::LogLevel::error, "obs",
+                        "cannot write profile " + cfg_.run.prof_path);
+  }
   if (!cfg_.run.trace_path.empty() || !cfg_.run.trace_csv_path.empty()) {
     // Exports read the world-ordered union of rings (== recorder_ itself in
     // a serial world; the copy is once per run, not per event).
     const obs::FlightRecorder merged = merged_trace();
-    if (!cfg_.run.trace_path.empty() &&
-        !merged.export_chrome_trace(cfg_.run.trace_path)) {
-      util::Logger::write(util::LogLevel::error, "obs",
-                          "cannot write trace file " + cfg_.run.trace_path);
+    if (!cfg_.run.trace_path.empty()) {
+      // With the profiler armed the trace gains sender→receiver flow arrows
+      // (ph:"s"/"f"), one per joined wire message.
+      const bool ok =
+          prof_enabled()
+              ? merged.export_chrome_trace(cfg_.run.trace_path,
+                                           obs::flow_events(analysis))
+              : merged.export_chrome_trace(cfg_.run.trace_path);
+      if (!ok) {
+        util::Logger::write(util::LogLevel::error, "obs",
+                            "cannot write trace file " + cfg_.run.trace_path);
+      }
     }
     if (!cfg_.run.trace_csv_path.empty() &&
         !merged.export_credit_csv(cfg_.run.trace_csv_path)) {

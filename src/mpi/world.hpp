@@ -20,6 +20,7 @@
 #include "mpi/device.hpp"
 #include "mpi/workload.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/sharded.hpp"
@@ -54,6 +55,12 @@ struct WorldConfig {
   /// Upper bound on simulated time; exceeding it is reported as a deadlock
   /// (protects against infinite hardware retry loops in the modeled system).
   sim::Duration max_sim_time = sim::seconds(30);
+
+  /// Arm the causal profiler (DESIGN.md §16) without requesting a file
+  /// export — for tests and benchmarks that read the analysis in process.
+  /// $MVFLOW_PROF (run.prof_path) arms it too, and additionally writes the
+  /// profile JSON at flush_exports.
+  bool profile = false;
 
   /// Tracing/metrics-export configuration. Defaults to the one-time
   /// process snapshot of the MVFLOW_* environment; sweep jobs running on
@@ -240,6 +247,24 @@ class World {
   /// "latency." metrics source emits this.
   obs::LatencyBreakdown merged_latency() const;
 
+  /// Causal profiler armed for this world (WorldConfig::profile or the run
+  /// config's $MVFLOW_PROF snapshot).
+  bool prof_enabled() const noexcept {
+    return cfg_.profile || cfg_.run.prof_enabled();
+  }
+  /// This world's profiler (DESIGN.md §16), bound exactly like the
+  /// recorder: on the constructing thread, the run() thread, every rank's
+  /// process thread, and — in sharded worlds — per shard via the shard
+  /// hooks (shard_profiler(s) collects that shard's records).
+  obs::Profiler& profiler() noexcept { return prof_; }
+  obs::Profiler& shard_profiler(std::size_t s) { return *shard_profilers_.at(s); }
+  /// Union of the world and shard record buffers (a plain copy of
+  /// profiler() in serial worlds). The analysis re-sorts canonically, so
+  /// absorb order never shows in results.
+  obs::Profiler merged_prof() const;
+  /// analyze() over merged_prof() — the full causal attribution.
+  obs::ProfileAnalysis prof_analysis() const;
+
  private:
   /// One progress sample per live connection (sender side), fed to the
   /// watchdog: backlog depth + a monotonic progress counter (credited
@@ -272,6 +297,14 @@ class World {
   /// Recorder bound on the constructing thread before this world; restored
   /// by the destructor (worlds nest strictly on a given thread).
   obs::FlightRecorder* prev_recorder_ = nullptr;
+  /// Causal profiler, mirroring the recorder's ownership/binding pattern:
+  /// one world buffer plus one per shard, with per-shard saved previous
+  /// bindings for the shard hooks. Never serialized into snapshots — the
+  /// profile is an export artifact, not world state.
+  obs::Profiler prof_;
+  std::vector<std::unique_ptr<obs::Profiler>> shard_profilers_;
+  std::vector<obs::Profiler*> shard_prev_profilers_;
+  obs::Profiler* prev_profiler_ = nullptr;
   std::unique_ptr<ib::Fabric> fabric_;
   std::vector<std::unique_ptr<Device>> devices_;
   sim::Duration elapsed_{0};

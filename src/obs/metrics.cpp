@@ -80,9 +80,16 @@ std::optional<Snapshot> Snapshot::from_json(std::string_view text) {
 }
 
 bool Snapshot::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  if (path == "-") {
+    // Pipeline use (MVFLOW_METRICS=-): the snapshot goes to stdout so a
+    // consumer like mvflow_prof can read it without a temp file.
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    std::fflush(stdout);
+    return true;
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string doc = to_json();
   std::fwrite(doc.data(), 1, doc.size(), f);
   std::fclose(f);
   return true;

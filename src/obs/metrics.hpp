@@ -44,6 +44,7 @@ struct Snapshot {
   /// Inverse of to_json (accepts any document with a flat numeric
   /// "metrics" object). Values round-trip bit-exactly.
   static std::optional<Snapshot> from_json(std::string_view text);
+  /// Write to_json() to `path`; "-" writes to stdout (pipeline use).
   bool write_json(const std::string& path) const;
 };
 

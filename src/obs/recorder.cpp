@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <map>
 #include <ostream>
@@ -11,6 +12,21 @@
 #include "util/serial.hpp"
 
 namespace mvflow::obs {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 std::string_view to_string(Ev e) {
   switch (e) {
@@ -153,15 +169,43 @@ bool is_backlog_kind(Ev k) {
 }  // namespace
 
 void FlightRecorder::export_chrome_trace(std::ostream& os) const {
+  export_chrome_trace(os, {});
+}
+
+void FlightRecorder::export_chrome_trace(
+    std::ostream& os, const std::vector<FlowArrowEvent>& flows) const {
   const std::vector<TraceEvent> evs = events();
   std::string out;
-  out.reserve(evs.size() * 128 + 256);
+  out.reserve(evs.size() * 128 + flows.size() * 96 + 256);
   out += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
 
   bool first = true;
   const auto sep = [&] {
     if (!first) out += ",\n";
     first = false;
+  };
+
+  // Flow arrows interleave with the instant events so the whole stream
+  // stays non-decreasing in ts; `flows` arrives time-sorted from the
+  // profiler. Binding id + shared cat/name is what makes Perfetto draw the
+  // s→f arrow between the sender's and receiver's tracks.
+  std::size_t fi = 0;
+  const auto put_flows_until = [&](sim::TimePoint t, bool all) {
+    for (; fi < flows.size() && (all || flows[fi].t <= t); ++fi) {
+      const FlowArrowEvent& f = flows[fi];
+      sep();
+      out += "{\"name\": \"msg\", \"cat\": \"prof\", \"ph\": \"";
+      out += f.begin ? 's' : 'f';
+      out += '"';
+      if (!f.begin) out += ", \"bp\": \"e\"";
+      out += ", \"id\": ";
+      out += std::to_string(f.id);
+      out += ", \"ts\": ";
+      append_ts(out, f.t);
+      out += ", \"pid\": ";
+      out += std::to_string(f.rank);
+      out += ", \"tid\": 0}";
+    }
   };
 
   // Metadata: name each rank's process track once.
@@ -177,6 +221,7 @@ void FlightRecorder::export_chrome_trace(std::ostream& os) const {
   }
 
   for (const auto& e : evs) {
+    put_flows_until(e.t, false);
     sep();
     out += "{\"name\": \"";
     out += to_string(e.kind);
@@ -219,14 +264,25 @@ void FlightRecorder::export_chrome_trace(std::ostream& os) const {
       out += "}}";
     }
   }
+  put_flows_until(sim::TimePoint{0}, true);
   out += "\n]}\n";
   os << out;
 }
 
 bool FlightRecorder::export_chrome_trace(const std::string& path) const {
+  return export_chrome_trace(path, {});
+}
+
+bool FlightRecorder::export_chrome_trace(
+    const std::string& path, const std::vector<FlowArrowEvent>& flows) const {
+  if (path == "-") {
+    export_chrome_trace(std::cout, flows);
+    std::cout.flush();
+    return static_cast<bool>(std::cout);
+  }
   std::ofstream f(path);
   if (!f) return false;
-  export_chrome_trace(f);
+  export_chrome_trace(f, flows);
   return static_cast<bool>(f);
 }
 
@@ -247,11 +303,17 @@ void FlightRecorder::export_credit_csv(std::ostream& os) const {
       credits = e.b;
     }
     os << e.t.count() << ',' << e.rank << ',' << e.peer << ','
-       << to_string(e.kind) << ',' << credits << ',' << depth << '\n';
+       << csv_escape(to_string(e.kind)) << ',' << credits << ',' << depth
+       << '\n';
   }
 }
 
 bool FlightRecorder::export_credit_csv(const std::string& path) const {
+  if (path == "-") {
+    export_credit_csv(std::cout);
+    std::cout.flush();
+    return static_cast<bool>(std::cout);
+  }
   std::ofstream f(path);
   if (!f) return false;
   export_credit_csv(f);

@@ -108,9 +108,25 @@ struct LatencyBreakdown {
     f(base + ".min_ns", rs.min());
     f(base + ".max_ns", rs.max());
     f(base + ".p50_ns", h.quantile(0.50));
+    f(base + ".p90_ns", h.quantile(0.90));
     f(base + ".p99_ns", h.quantile(0.99));
   }
 };
+
+/// One endpoint of a Chrome-trace flow arrow (ph:"s" start on the sender's
+/// track, ph:"f" finish on the receiver's). Produced by the causal profiler
+/// (obs/prof.hpp) and interleaved into export_chrome_trace by timestamp.
+struct FlowArrowEvent {
+  sim::TimePoint t{0};
+  std::int16_t rank = -1;
+  std::uint64_t id = 0;  ///< binds the s/f pair; unique per wire message
+  bool begin = true;     ///< true = "s" (sender), false = "f" (receiver)
+};
+
+/// Escape one CSV field: fields containing the separator, a double quote,
+/// or a line break are quoted with embedded quotes doubled (RFC 4180);
+/// plain fields pass through byte-identical.
+std::string csv_escape(std::string_view field);
 
 class FlightRecorder {
  public:
@@ -162,13 +178,22 @@ class FlightRecorder {
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}) with rank process
   /// tracks, QP thread tracks, instant events for every kind, and counter
-  /// tracks for credits / backlog depth per connection.
+  /// tracks for credits / backlog depth per connection. The overload taking
+  /// `flows` interleaves the profiler's sender→receiver flow arrows by
+  /// timestamp (ph:"s"/"f"); `flows` must be time-sorted. A `path` of "-"
+  /// writes to stdout.
   void export_chrome_trace(std::ostream& os) const;
+  void export_chrome_trace(std::ostream& os,
+                           const std::vector<FlowArrowEvent>& flows) const;
   bool export_chrome_trace(const std::string& path) const;
+  bool export_chrome_trace(const std::string& path,
+                           const std::vector<FlowArrowEvent>& flows) const;
 
   /// CSV time-series: time_ns,rank,peer,event,credits,backlog_depth —
   /// one row per credit/backlog event, carrying the last-known value of
-  /// the other column for that connection.
+  /// the other column for that connection. Free-text fields go through
+  /// csv_escape, so labels containing the separator round-trip. A `path`
+  /// of "-" writes to stdout.
   void export_credit_csv(std::ostream& os) const;
   bool export_credit_csv(const std::string& path) const;
 
