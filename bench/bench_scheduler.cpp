@@ -112,14 +112,17 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, opts.get_int("ops", 400'000)));
   const int passes = static_cast<int>(opts.get_int("passes", 3));
 
-  std::puts("# Scheduler microbenchmark: hold-time ns/op, heap4 vs calendar");
-  util::Table t({"dist", "pending", "heap4_ns", "calendar_ns", "cal/heap"});
+  std::puts(
+      "# Scheduler microbenchmark: hold-time ns/op, heap4 vs calendar vs "
+      "wheel");
+  util::Table t({"dist", "pending", "heap4_ns", "calendar_ns", "wheel_ns",
+                 "wheel/heap"});
   WallTimer wall;
   BenchJson json("scheduler");
   for (const Dist& d : kDists) {
     for (const std::size_t pending : kPendingSizes) {
-      HoldResult results[2];
-      for (int k = 0; k < 2; ++k) {
+      HoldResult results[3];
+      for (int k = 0; k < 3; ++k) {
         const auto kind = static_cast<sim::SchedKind>(k);
         results[k] = run_hold(kind, pending, d, ops);
         for (int p = 1; p < passes; ++p) {
@@ -129,14 +132,17 @@ int main(int argc, char** argv) {
       }
       const double heap_ns = results[0].ns_per_op;
       const double cal_ns = results[1].ns_per_op;
-      t.add(d.label, pending, heap_ns, cal_ns, cal_ns / heap_ns);
+      const double wheel_ns = results[2].ns_per_op;
+      t.add(d.label, pending, heap_ns, cal_ns, wheel_ns, wheel_ns / heap_ns);
       json.add_point({{"pending", static_cast<double>(pending)},
                       {"spike_percent", static_cast<double>(d.spike_percent)},
                       {"far_percent", static_cast<double>(d.far_percent)},
                       {"heap4_ns_per_op", heap_ns},
                       {"calendar_ns_per_op", cal_ns},
+                      {"wheel_ns_per_op", wheel_ns},
                       {"heap4_fill_ns", results[0].fill_ns_per_push},
-                      {"calendar_fill_ns", results[1].fill_ns_per_push}});
+                      {"calendar_fill_ns", results[1].fill_ns_per_push},
+                      {"wheel_fill_ns", results[2].fill_ns_per_push}});
     }
   }
   t.print(std::cout);

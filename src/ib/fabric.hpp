@@ -122,6 +122,43 @@ class Fabric {
   // ---- internal, used by QueuePair ----
   QpNumber alloc_qpn() { return next_qpn_++; }
 
+  // ---- fabric-global QPN index (O(1) per-packet lookup) ----------------
+  //
+  // QPNs are allocated fabric-globally and monotonically from kFirstQpn,
+  // so one flat vector maps any QPN to its owning node, its dense slot in
+  // that node's HCA, and an owner-set cookie (the MPI device stores its
+  // endpoint slot there, collapsing the per-completion qpn→peer→endpoint
+  // chain to one array read). Mutation is safe without locks because QP
+  // creation/destruction is setup-time or serial-mode-runtime only: the
+  // sharded world require()s off on-demand connect and reconnect-under-
+  // faults, the two paths that create or destroy QPs mid-run.
+  static constexpr QpNumber kFirstQpn = 100;
+  static constexpr std::uint32_t kNoCookie = 0xffffffffu;
+  struct QpnEntry {
+    std::int32_t node = -1;  // -1 = never allocated or destroyed
+    std::uint32_t slot = 0;  // dense index into the owning HCA's qps_
+    std::uint32_t cookie = kNoCookie;
+  };
+
+  void bind_qpn(QpNumber qpn, int node, std::uint32_t slot) {
+    const std::size_t i = static_cast<std::size_t>(qpn - kFirstQpn);
+    if (i >= qpn_index_.size()) qpn_index_.resize(i + 1);
+    qpn_index_[i] = QpnEntry{node, slot, kNoCookie};
+  }
+  void unbind_qpn(QpNumber qpn) {
+    qpn_index_[static_cast<std::size_t>(qpn - kFirstQpn)] = QpnEntry{};
+  }
+  /// nullptr when the QPN was never allocated or has been destroyed.
+  const QpnEntry* qpn_entry(QpNumber qpn) const noexcept {
+    const std::size_t i = static_cast<std::size_t>(qpn - kFirstQpn);
+    if (qpn < kFirstQpn || i >= qpn_index_.size()) return nullptr;
+    const QpnEntry& e = qpn_index_[i];
+    return e.node < 0 ? nullptr : &e;
+  }
+  void set_qpn_cookie(QpNumber qpn, std::uint32_t cookie) {
+    qpn_index_[static_cast<std::size_t>(qpn - kFirstQpn)].cookie = cookie;
+  }
+
   /// Put a packet on the wire from src_node no earlier than `earliest`;
   /// schedules its delivery at the destination HCA.
   void transmit(int src_node, int dst_node, Packet pkt, sim::TimePoint earliest);
@@ -191,7 +228,8 @@ class Fabric {
   std::vector<std::unique_ptr<Hca>> nodes_;
   std::vector<sim::Resource> up_;    // node -> switch
   std::vector<sim::Resource> down_;  // switch -> node
-  QpNumber next_qpn_ = 100;  // QP creation is setup-time (pre-run) only
+  QpNumber next_qpn_ = kFirstQpn;  // QP creation is setup-time (pre-run) only
+  std::vector<QpnEntry> qpn_index_;  // (qpn - kFirstQpn) -> owner; see above
   std::vector<NodeStats> node_stats_;  // indexed by source node
   util::Xoshiro256 fault_rng_;
   /// Sharded mode: one independent stream per source node, each touched

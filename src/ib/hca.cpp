@@ -28,25 +28,41 @@ std::shared_ptr<QueuePair> Hca::create_qp(
   const QpNumber qpn = fabric_.alloc_qpn();
   auto qp = std::make_shared<QueuePair>(*this, qpn, std::move(send_cq),
                                         std::move(recv_cq), type);
-  qps_.emplace_back(qpn, qp);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    util::require(qps_[slot] == nullptr, "freelist slot still occupied");
+    qps_[slot] = qp;
+  } else {
+    slot = static_cast<std::uint32_t>(qps_.size());
+    qps_.push_back(qp);
+  }
+  ++live_qps_;
+  fabric_.bind_qpn(qpn, node_id_, slot);
+  // Density invariant: reconnect churn reuses slots, so the table never
+  // grows past the peak concurrent QP count.
+  util::require(live_qps_ + free_slots_.size() == qps_.size(),
+                "QP slot table not dense");
   return qp;
 }
 
 void Hca::destroy_qp(QpNumber qpn) {
-  for (auto it = qps_.begin(); it != qps_.end(); ++it) {
-    if (it->first == qpn) {
-      qps_.erase(it);
-      return;
-    }
-  }
-  util::require(false, "destroy of unknown QP");
+  const Fabric::QpnEntry* e = fabric_.qpn_entry(qpn);
+  util::require(e != nullptr && e->node == node_id_,
+                "destroy of unknown QP");
+  qps_[e->slot].reset();
+  free_slots_.push_back(e->slot);
+  --live_qps_;
+  fabric_.unbind_qpn(qpn);
+  util::require(live_qps_ + free_slots_.size() == qps_.size(),
+                "QP slot table not dense");
 }
 
 QueuePair* Hca::find_qp(QpNumber qpn) {
-  for (const auto& [n, qp] : qps_) {
-    if (n == qpn) return qp.get();
-  }
-  return nullptr;
+  const Fabric::QpnEntry* e = fabric_.qpn_entry(qpn);
+  if (e == nullptr || e->node != node_id_) return nullptr;
+  return qps_[e->slot].get();
 }
 
 }  // namespace mvflow::ib

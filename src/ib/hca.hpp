@@ -59,9 +59,15 @@ class Hca {
   MemoryRegistry memory_;
   std::shared_ptr<MessageDataPool> msg_pool_ =
       std::make_shared<MessageDataPool>();
-  // A node owns a handful of QPs and find_qp runs once per delivered
-  // packet, so the lookup is a linear scan of a flat array, not a tree.
-  std::vector<std::pair<QpNumber, std::shared_ptr<QueuePair>>> qps_;
+  // Dense QP slots: find_qp runs once per delivered packet, so it resolves
+  // through the fabric-global QPN index (qpn -> (node, slot), one array
+  // read) instead of scanning. Destroyed slots go on a freelist and are
+  // reused by the next create, so the vector never grows past the peak
+  // concurrent QP count — reconnect churn stays dense (asserted in
+  // create/destroy).
+  std::vector<std::shared_ptr<QueuePair>> qps_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_qps_ = 0;
 };
 
 }  // namespace mvflow::ib

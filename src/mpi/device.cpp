@@ -27,6 +27,7 @@ std::uint64_t prof_chain_id(Rank src, Rank dst, std::uint64_t seq) {
 
 Device::Device(World& world, Rank me) : world_(world), me_(me) {
   audit_inline_ = world_.audit_inline();
+  peer_index_.assign(static_cast<std::size_t>(world_.num_ranks()), -1);
   hca_ = &world_.fabric().hca(me);
   cq_ = hca_->create_cq();
   world_.metrics().add_source(
@@ -42,14 +43,32 @@ sim::Engine& Device::engine() const noexcept { return world_.engine_for(me_); }
 
 // ---------------------------------------------------------------- setup --
 
+std::size_t Device::endpoint_state_bytes() noexcept { return sizeof(Endpoint); }
+
+Device::Endpoint& Device::ep_at(Rank peer) const {
+  Endpoint* ep = find_endpoint(peer);
+  util::require(ep != nullptr, "no endpoint for peer");
+  return *ep;
+}
+
 ib::QueuePair& Device::create_endpoint(Rank peer) {
-  util::check(endpoints_.count(peer) == 0, "endpoint already exists");
+  util::check(!has_endpoint(peer), "endpoint already exists");
+  util::check(peer >= 0 && static_cast<std::size_t>(peer) < peer_index_.size(),
+              "peer rank out of range");
   auto ep = std::make_unique<Endpoint>(world_.config().flow);
   ep->peer = peer;
   ep->qp = hca_->create_qp(cq_, cq_);
-  qp_to_peer_.emplace(ep->qp->qpn(), peer);
+  ep->flow.set_counters_sink(&flow_agg_);
+  ep->qp->set_stats_sink(&qp_agg_);
   ib::QueuePair& qp = *ep->qp;
-  endpoints_.emplace(peer, std::move(ep));
+  const std::uint32_t slot = static_cast<std::uint32_t>(conn_.size());
+  conn_.push_back(std::move(ep));
+  peer_index_[static_cast<std::size_t>(peer)] = static_cast<std::int32_t>(slot);
+  peer_ranks_.insert(
+      std::lower_bound(peer_ranks_.begin(), peer_ranks_.end(), peer), peer);
+  // Completions resolve qpn → endpoint through the fabric QPN index in one
+  // array read; the cookie is this device's connection slot.
+  world_.fabric().set_qpn_cookie(qp.qpn(), slot);
   // Per-connection metrics; looked up by rank at snapshot time so the
   // sources survive a reconnect replacing the QP object.
   const std::string conn =
@@ -66,7 +85,7 @@ ib::QueuePair& Device::create_endpoint(Rank peer) {
 }
 
 void Device::activate_endpoint(Rank peer) {
-  Endpoint& ep = *endpoints_.at(peer);
+  Endpoint& ep = ep_at(peer);
   util::check(ep.qp->connected(), "activate before connect");
   util::check(!ep.active, "endpoint already active");
   ep.active = true;
@@ -76,13 +95,14 @@ void Device::activate_endpoint(Rank peer) {
 }
 
 Device::Endpoint& Device::ensure_endpoint(Rank peer) {
-  const auto it = endpoints_.find(peer);
-  if (it != endpoints_.end() && it->second->active) return *it->second;
+  if (Endpoint* ep = find_endpoint(peer); ep != nullptr && ep->active) {
+    return *ep;
+  }
   util::check(world_.config().on_demand_connections,
               "endpoint missing outside on-demand mode");
   charge(world_.config().device.connect_setup);
   world_.wire_pair(me_, peer);
-  return *endpoints_.at(peer);
+  return ep_at(peer);
 }
 
 void Device::grow_recv_slots(Endpoint& ep, int count) {
@@ -453,8 +473,8 @@ RequestPtr Device::irecv(Rank src, Tag tag, std::span<std::byte> buffer) {
   auto req = std::make_shared<Request>(RequestKind::recv, next_rndv_id_++);
 
   if (src != kAnySource) {
-    const auto it = endpoints_.find(src);
-    if (it != endpoints_.end() && it->second->failed) {
+    const Endpoint* sep = find_endpoint(src);
+    if (sep != nullptr && sep->failed) {
       // Nothing can ever arrive from a dead connection: fail fast rather
       // than park a receive that would hang the rank.
       fail_request(req);
@@ -532,14 +552,17 @@ void Device::progress() {
 }
 
 void Device::handle_completion(const ib::Completion& wc) {
-  const auto pit = qp_to_peer_.find(wc.qp_num);
-  if (pit == qp_to_peer_.end()) {
+  // One array read resolves qpn → endpoint: the fabric QPN index entry
+  // carries this device's connection slot as its cookie (set at endpoint
+  // creation and after every reconnect).
+  const ib::Fabric::QpnEntry* qe = world_.fabric().qpn_entry(wc.qp_num);
+  if (qe == nullptr || qe->cookie == ib::Fabric::kNoCookie) {
     // Flushed CQE from a QP that recovery already destroyed and replaced.
     // Its tx entry (if any) stays: the replacement QP replays it.
     ++stats_.stale_completions;
     return;
   }
-  Endpoint& ep = *endpoints_.at(pit->second);
+  Endpoint& ep = *conn_[qe->cookie];
   if (!wc.ok()) {
     handle_error_completion(ep, wc);
     return;
@@ -564,7 +587,7 @@ void Device::handle_completion(const ib::Completion& wc) {
   WireHeader fin;
   fin.kind = MsgKind::rndv_fin;
   fin.rreq = sctx.rreq;
-  post_wire(*endpoints_.at(sctx.dst), fin, {});
+  post_wire(ep_at(sctx.dst), fin, {});
   if (sctx.req) sctx.req->mark_complete();
   send_rndv_.erase(sit);
 }
@@ -649,7 +672,7 @@ void Device::begin_recovery(Endpoint& ep) {
 }
 
 void Device::prepare_reconnect(Rank peer) {
-  Endpoint& ep = *endpoints_.at(peer);
+  Endpoint& ep = ep_at(peer);
   ep.recovering = true;
   ep.famine_rts_inflight = false;
   // Drain the CQ first: messages the old QP delivered but the rank has not
@@ -659,16 +682,21 @@ void Device::prepare_reconnect(Rank peer) {
   allow_charge_ = false;
   while (auto wc = cq_->poll()) handle_completion(*wc);
   allow_charge_ = true;
+  // The retired QP's counters were already mirrored into qp_agg_ as they
+  // happened, so accumulate only into the per-connection retired block;
+  // the replacement QP re-attaches to the same aggregate sink.
   ep.retired_qp.accumulate(ep.qp->stats());
   ep.qp->modify_error();
-  qp_to_peer_.erase(ep.qp->qpn());
-  hca_->destroy_qp(ep.qp->qpn());
+  hca_->destroy_qp(ep.qp->qpn());  // unbinds the QPN index entry + cookie
   ep.qp = hca_->create_qp(cq_, cq_);
-  qp_to_peer_.emplace(ep.qp->qpn(), peer);
+  ep.qp->set_stats_sink(&qp_agg_);
+  world_.fabric().set_qpn_cookie(
+      ep.qp->qpn(),
+      static_cast<std::uint32_t>(peer_index_[static_cast<std::size_t>(peer)]));
 }
 
 void Device::finish_reconnect(Rank peer, int peer_posted) {
-  Endpoint& ep = *endpoints_.at(peer);
+  Endpoint& ep = ep_at(peer);
   util::check(ep.qp->connected(), "finish_reconnect before connect");
   // Repost the receive pool on the fresh QP (the old QP flushed or lost
   // every posted buffer) — except slots retired by dynamic decay, which
@@ -973,15 +1001,15 @@ void Device::prof_record_recv(Rank src, std::uint64_t seq, std::uint8_t kind,
 // --------------------------------------------------------- introspection --
 
 const flowctl::ConnectionFlow& Device::flow(Rank peer) const {
-  return endpoints_.at(peer)->flow;
+  return ep_at(peer).flow;
 }
 
 flowctl::ConnectionFlow& Device::debug_flow(Rank peer) {
-  return endpoints_.at(peer)->flow;
+  return ep_at(peer).flow;
 }
 
 Device::EndpointProbe Device::probe(Rank peer) const {
-  const Endpoint& ep = *endpoints_.at(peer);
+  const Endpoint& ep = ep_at(peer);
   EndpointProbe p;
   p.active = ep.active;
   p.failed = ep.failed;
@@ -1007,28 +1035,17 @@ Device::EndpointProbe Device::probe(Rank peer) const {
 }
 
 ib::QpStats Device::qp_stats(Rank peer) const {
-  const Endpoint& ep = *endpoints_.at(peer);
+  const Endpoint& ep = ep_at(peer);
   ib::QpStats out = ep.retired_qp;
   out.accumulate(ep.qp->stats());
   out.last_advertised_credits = ep.qp->stats().last_advertised_credits;
   return out;
 }
 
-std::vector<Rank> Device::peers() const {
-  std::vector<Rank> out;
-  out.reserve(endpoints_.size());
-  for (const auto& [peer, ep] : endpoints_) {
-    (void)ep;
-    out.push_back(peer);
-  }
-  return out;
-}
+std::vector<Rank> Device::peers() const { return peer_ranks_; }
 
 void Device::retune(const flowctl::TuneDelta& d) {
-  for (auto& [peer, ep] : endpoints_) {
-    (void)peer;
-    ep->flow.retune(d);
-  }
+  for (const std::unique_ptr<Endpoint>& ep : conn_) ep->flow.retune(d);
 }
 
 void Device::serialize_state(util::serial::BufWriter& w) const {
@@ -1050,9 +1067,11 @@ void Device::serialize_state(util::serial::BufWriter& w) const {
 
   match_.serialize_state(w);
 
-  // Endpoints in rank order (std::map iteration is deterministic).
-  w.u64(endpoints_.size());
-  for (const auto& [peer, ep] : endpoints_) {
+  // Endpoints in rank order (peer_ranks_ is sorted), matching the byte
+  // layout the old std::map iteration produced.
+  w.u64(peer_ranks_.size());
+  for (const Rank peer : peer_ranks_) {
+    const Endpoint* ep = find_endpoint(peer);
     w.i32(peer);
     w.b(ep->active);
     w.b(ep->famine_rts_inflight);

@@ -102,8 +102,17 @@ class Device {
   ib::QueuePair& create_endpoint(Rank peer);
   /// Pre-post the initial credited pool + control reserve for `peer`.
   void activate_endpoint(Rank peer);
-  bool has_endpoint(Rank peer) const { return endpoints_.count(peer) != 0; }
-  std::size_t endpoint_count() const { return endpoints_.size(); }
+  bool has_endpoint(Rank peer) const {
+    return peer >= 0 && static_cast<std::size_t>(peer) < peer_index_.size() &&
+           peer_index_[static_cast<std::size_t>(peer)] >= 0;
+  }
+  std::size_t endpoint_count() const { return conn_.size(); }
+  /// Bytes of per-connection state: one flat-table element (the Endpoint
+  /// block) plus the 4-byte rank->slot index entry every configured rank
+  /// costs whether or not it ever connects. Reported by bench_conn_scaling
+  /// so state growth shows up in the perf trajectory.
+  static std::size_t endpoint_state_bytes() noexcept;
+  static constexpr std::size_t kIndexBytesPerRank = sizeof(std::int32_t);
 
   // ---- fault recovery (driven by World::recover_pair) ----
   /// Phase 1 of reconnecting to `peer`: drain the CQ, retire the errored
@@ -149,12 +158,20 @@ class Device {
   /// Live QP counters plus everything accumulated from QPs retired by
   /// recovery (so retransmit/NAK counts survive a reconnect).
   ib::QpStats qp_stats(Rank peer) const;
-  bool endpoint_failed(Rank peer) const { return endpoints_.at(peer)->failed; }
-  bool endpoint_recovering(Rank peer) const {
-    return endpoints_.at(peer)->recovering;
-  }
-  ib::QueuePair& endpoint_qp(Rank peer) { return *endpoints_.at(peer)->qp; }
+  bool endpoint_failed(Rank peer) const { return ep_at(peer).failed; }
+  bool endpoint_recovering(Rank peer) const { return ep_at(peer).recovering; }
+  ib::QueuePair& endpoint_qp(Rank peer) { return *ep_at(peer).qp; }
+  /// Live peers in ascending rank order (deterministic iteration for the
+  /// auditor, the watchdog, and serialization).
   std::vector<Rank> peers() const;
+
+  /// Incremental aggregates over every connection this device owns
+  /// (DESIGN.md §17): flow-control counters and QP reliability counters
+  /// (live + retired-by-reconnect), mirrored at the point of change, so
+  /// world-level stat totals are O(ranks) instead of O(connections).
+  /// Single-writer per device — each shard touches only its own block.
+  const flowctl::Counters& flow_totals() const noexcept { return flow_agg_; }
+  const ib::QpStats& qp_totals() const noexcept { return qp_agg_; }
 
   /// Apply a flow-control tuning delta to every live connection (the
   /// checkpoint-fork sweep's branch point — DESIGN.md §13).
@@ -263,6 +280,17 @@ class Device {
 
   Endpoint& ensure_endpoint(Rank peer);
 
+  /// O(1) rank → endpoint lookup; nullptr when no endpoint exists.
+  Endpoint* find_endpoint(Rank peer) const noexcept {
+    if (peer < 0 || static_cast<std::size_t>(peer) >= peer_index_.size()) {
+      return nullptr;
+    }
+    const std::int32_t slot = peer_index_[static_cast<std::size_t>(peer)];
+    return slot < 0 ? nullptr : conn_[static_cast<std::size_t>(slot)].get();
+  }
+  /// As find_endpoint, but the endpoint must exist.
+  Endpoint& ep_at(Rank peer) const;
+
   void handle_completion(const ib::Completion& wc);
   void handle_error_completion(Endpoint& ep, const ib::Completion& wc);
   /// Complete a request with error status (idempotent, null-safe).
@@ -340,10 +368,25 @@ class Device {
   ib::Hca* hca_ = nullptr;
   std::shared_ptr<ib::CompletionQueue> cq_;
 
-  std::map<Rank, std::unique_ptr<Endpoint>> endpoints_;
-  std::map<ib::QpNumber, Rank> qp_to_peer_;
+  /// Lazy flat connection table (DESIGN.md §17). Endpoint slots live in
+  /// creation order and are never removed (failed endpoints stay, so
+  /// requests against them keep failing fast); `peer_index_` maps rank →
+  /// slot (-1 = not connected) and is sized once at construction, so
+  /// has_endpoint / ensure_endpoint are O(1) at any world size and an
+  /// on-demand world pays per *active* peer, not per configured rank.
+  /// `peer_ranks_` is kept sorted for deterministic rank-order iteration
+  /// (serialization, peers()) without scanning the whole index. The
+  /// qpn → endpoint hop rides the fabric's QPN index cookie (one array
+  /// read per completion; see handle_completion).
+  std::vector<std::unique_ptr<Endpoint>> conn_;
+  std::vector<std::int32_t> peer_index_;
+  std::vector<Rank> peer_ranks_;
 
   MatchQueue match_;
+
+  /// Device-level incremental aggregates (see flow_totals/qp_totals).
+  flowctl::Counters flow_agg_;
+  ib::QpStats qp_agg_;
 
   // Bounce-buffer pool for outgoing wire messages (headers + eager data).
   std::vector<Arena> bounce_arenas_;

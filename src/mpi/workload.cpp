@@ -105,11 +105,40 @@ RankBodyFn make_soak(const WorkloadSpec& spec) {
   };
 }
 
+RankBodyFn make_hotspot(const WorkloadSpec& spec) {
+  const std::size_t bytes = static_cast<std::size_t>(spec.param("bytes", 256));
+  const int rounds = static_cast<int>(spec.param("rounds", 20));
+  const int actives = static_cast<int>(spec.param("actives", 8));
+  return [bytes, rounds, actives](Communicator& comm) {
+    // Hub-and-spokes over a constant active set: rank 0 exchanges with
+    // ranks 1..actives each round; every other rank stays completely idle.
+    // Under on-demand wiring the idle ranks never create a connection, so
+    // this body is the O(active)-progress probe for huge worlds — total
+    // work is a function of `actives`, never of comm.size().
+    const int spokes = std::min(actives, comm.size() - 1);
+    std::vector<std::byte> buf(bytes > 0 ? bytes : 1);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < rounds; ++r) {
+        for (int p = 1; p <= spokes; ++p) {
+          comm.recv(buf, p, 31);
+          comm.send(buf, p, 31);
+        }
+      }
+    } else if (comm.rank() <= spokes) {
+      for (int r = 0; r < rounds; ++r) {
+        comm.send(buf, 0, 31);
+        comm.recv(buf, 0, 31);
+      }
+    }
+  };
+}
+
 const bool kBuiltinsRegistered = [] {
   register_workload("pingpong", make_pingpong);
   register_workload("bw", make_bw);
   register_workload("allpairs", make_allpairs);
   register_workload("soak", make_soak);
+  register_workload("hotspot", make_hotspot);
   return true;
 }();
 

@@ -57,5 +57,10 @@ std::vector<std::string> workload_names();
 //               with per-round barriers, message size cycling over
 //               {`bytes`, 4*`bytes`, 16*`bytes`}; designed to keep traffic
 //               in flight continuously so mid-run kills land mid-message.
+//   hotspot   — hub-and-spokes over a constant active set: rank 0
+//               exchanges `bytes` with ranks 1..`actives` for `rounds`
+//               rounds; all other ranks stay idle. With on-demand wiring
+//               the idle ranks never connect — the O(active)-progress
+//               probe for 1024-rank worlds (DESIGN.md §17).
 
 }  // namespace mvflow::mpi

@@ -89,6 +89,13 @@ struct WorldStats {
   std::vector<DeviceStats> devices;
   ib::FabricStats fabric;
 
+  /// World totals, folded from each device's incremental aggregate at
+  /// collect time — O(ranks), not O(connections). The accessors below read
+  /// these; under MVFLOW_AUDIT collect_stats() cross-checks them against a
+  /// full per-connection re-sum (DESIGN.md §17).
+  flowctl::Counters flow_totals;
+  ib::QpStats qp_totals;
+
   std::uint64_t total_ecm() const;
   std::uint64_t total_messages() const;  ///< All MPI-level messages sent.
   std::uint64_t total_backlogged() const;

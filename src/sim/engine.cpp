@@ -46,6 +46,10 @@ RegistryShard& shard_for(const Engine* e) noexcept {
 }  // namespace
 
 Engine::Engine(SchedKind kind) : pq_(kind) {
+  // Tombstone-aware schedulers get a probe into the slab so cancelled
+  // entries can be dropped in bulk during wheel maintenance instead of
+  // surfacing one by one at the dispatch front (see purge_probe).
+  pq_.set_purge_probe(&Engine::purge_probe, this);
   {
     RegistryShard& s = shard_for(this);
     std::lock_guard<std::mutex> lock(s.mu);
@@ -115,6 +119,19 @@ bool Engine::handle_valid(std::uint32_t slot, std::uint32_t gen) const noexcept 
   // gen matches only between schedule and release, and release happens
   // exactly at fire or cancel — so a match means "still pending".
   return slot < slab_size_ && node(slot).gen == gen;
+}
+
+bool Engine::purge_probe(void* ctx, std::uint32_t slot,
+                         std::uint32_t gen) noexcept {
+  Engine* self = static_cast<Engine*>(ctx);
+  if (slot < self->slab_size_ && self->node(slot).gen == gen) {
+    return false;  // live — the scheduler must keep it
+  }
+  // Dead: the scheduler drops the entry, so it will never be reaped at the
+  // front. Account the zombie here to keep pending_events() exact.
+  --self->zombies_;
+  ++self->perf_.timer_purges;
+  return true;
 }
 
 bool Engine::dispatch_one() {

@@ -48,6 +48,7 @@ struct EnginePerfStats {
   std::uint64_t pool_reuses = 0;   ///< event nodes recycled from the freelist
   std::uint64_t pool_allocs = 0;   ///< event nodes that grew the slab
   std::uint64_t dead_pops = 0;     ///< lazily-cancelled entries reaped at pop
+  std::uint64_t timer_purges = 0;  ///< tombstones bulk-purged by the wheel
   std::size_t max_batch = 0;       ///< largest same-timestamp dispatch run
   double pool_hit_rate() const {
     const double total =
@@ -66,6 +67,7 @@ struct EnginePerfStats {
     f("pool_allocs", static_cast<double>(pool_allocs));
     f("pool_hit_rate", pool_hit_rate());
     f("dead_pops", static_cast<double>(dead_pops));
+    f("timer_purges", static_cast<double>(timer_purges));
     f("max_batch", static_cast<double>(max_batch));
   }
 };
@@ -291,6 +293,15 @@ class Engine {
   void fire_entry(const SchedEntry& top);
   void fire_watchpoints();
   void recompute_next_watch() noexcept;
+
+  /// PurgeProbe installed on the timer wheel (and any future
+  /// tombstone-aware scheduler): answers "is this (slot, gen) dead?" and,
+  /// when it is, does the same accounting peek_live's reap would have done
+  /// — minus the dead_pop, which by definition never happens now. Keeping
+  /// `pending_events()` = pq_.size() - zombies_ consistent is why the
+  /// scheduler cannot simply drop entries on its own.
+  static bool purge_probe(void* ctx, std::uint32_t slot,
+                          std::uint32_t gen) noexcept;
 
   std::vector<std::unique_ptr<Node[]>> chunks_;  // freelist-recycled slab
   std::uint32_t slab_size_ = 0;   // slots handed out so far (all chunks)

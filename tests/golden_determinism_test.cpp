@@ -98,6 +98,7 @@ TEST(GoldenDeterminism, Fig3TableBitIdenticalAtJobs8) {
 namespace {
 constexpr int kHeap4 = static_cast<int>(mvflow::sim::SchedKind::heap4);
 constexpr int kCalendar = static_cast<int>(mvflow::sim::SchedKind::calendar);
+constexpr int kWheel = static_cast<int>(mvflow::sim::SchedKind::wheel);
 
 std::uint64_t fig2_hash(mvflow::bench::EngineMode mode) {
   return fnv1a(
@@ -123,6 +124,16 @@ TEST(GoldenDeterminism, Fig3CalendarSchedulerBitIdentical) {
             kFig3GoldenHash);
 }
 
+TEST(GoldenDeterminism, Fig2TimerWheelSchedulerBitIdentical) {
+  EXPECT_EQ(fig2_hash({.engine_threads = 0, .scheduler = kWheel}),
+            kFig2GoldenHash);
+}
+
+TEST(GoldenDeterminism, Fig3TimerWheelSchedulerBitIdentical) {
+  EXPECT_EQ(fig3_hash({.engine_threads = 0, .scheduler = kWheel}),
+            kFig3GoldenHash);
+}
+
 TEST(GoldenDeterminism, Fig2ShardedEngineBitIdentical) {
   EXPECT_EQ(fig2_hash({.engine_threads = 1, .scheduler = kHeap4}),
             kFig2GoldenHash);
@@ -130,11 +141,15 @@ TEST(GoldenDeterminism, Fig2ShardedEngineBitIdentical) {
             kFig2GoldenHash);
   EXPECT_EQ(fig2_hash({.engine_threads = 8, .scheduler = kCalendar}),
             kFig2GoldenHash);
+  EXPECT_EQ(fig2_hash({.engine_threads = 4, .scheduler = kWheel}),
+            kFig2GoldenHash);
 }
 
 TEST(GoldenDeterminism, Fig3ShardedEngineBitIdentical) {
   EXPECT_EQ(fig3_hash({.engine_threads = 2, .scheduler = kHeap4}),
             kFig3GoldenHash);
   EXPECT_EQ(fig3_hash({.engine_threads = 8, .scheduler = kCalendar}),
+            kFig3GoldenHash);
+  EXPECT_EQ(fig3_hash({.engine_threads = 4, .scheduler = kWheel}),
             kFig3GoldenHash);
 }

@@ -88,8 +88,11 @@ void expect_identical_order(std::size_t target_pending, std::uint64_t spread,
                             spike_percent, far_percent);
     const auto cal = drive(SchedKind::calendar, seed, target_pending, spread,
                            spike_percent, far_percent);
+    const auto wheel = drive(SchedKind::wheel, seed, target_pending, spread,
+                             spike_percent, far_percent);
     ASSERT_EQ(heap.size(), cal.size()) << "seed " << seed;
     ASSERT_EQ(heap, cal) << "seed " << seed;
+    ASSERT_EQ(heap, wheel) << "seed " << seed;
     // The order must be the strict (t, seq) total order, not merely equal.
     for (std::size_t i = 1; i < heap.size(); ++i) {
       ASSERT_LT(heap[i - 1], heap[i]) << "pop order not strictly increasing";
@@ -120,6 +123,14 @@ TEST(SchedulerDifferential, LargePendingSet) {
   expect_identical_order(20'000, 1 << 16, 5, 2);
 }
 
+TEST(SchedulerDifferential, BeyondWheelHorizon) {
+  // Far-future outliers land ~1000 s out — past the wheel's ~275 s L3 span
+  // — so this drives the overflow vector and its migration back into the
+  // wheel once nearer traffic drains.
+  expect_identical_order(64, 1'000'000'000, /*spike_percent=*/5,
+                         /*far_percent=*/20);
+}
+
 // ---- Engine-level differential: whole-simulation equivalence ----------
 //
 // Drives two engines through an identical self-expanding random workload —
@@ -133,8 +144,21 @@ struct EngineRun {
   std::uint64_t executed = 0;
   std::uint64_t scheduled = 0;
   std::uint64_t dead_pops = 0;
+  std::uint64_t timer_purges = 0;
+  std::uint64_t cancelled = 0;
 
   bool operator==(const EngineRun&) const = default;
+
+  /// The scheduler-invariant slice: what the simulation *did*. dead_pops
+  /// and timer_purges legitimately differ per scheduler (the wheel purges
+  /// tombstones in bulk instead of reaping them at the front), but their
+  /// sum must equal cancelled once the queue fully drains — every zombie
+  /// is accounted exactly once.
+  std::tuple<const std::vector<std::pair<std::int64_t, int>>&, std::uint64_t,
+             std::uint64_t>
+  behavior() const {
+    return {journal, executed, scheduled};
+  }
 };
 
 EngineRun run_engine(SchedKind kind, std::uint64_t seed) {
@@ -193,6 +217,8 @@ EngineRun run_engine(SchedKind kind, std::uint64_t seed) {
   out.executed = eng.perf_stats().executed;
   out.scheduled = eng.perf_stats().scheduled;
   out.dead_pops = eng.perf_stats().dead_pops;
+  out.timer_purges = eng.perf_stats().timer_purges;
+  out.cancelled = eng.perf_stats().cancelled_before_fire;
   return out;
 }
 
@@ -200,15 +226,25 @@ TEST(SchedulerDifferential, WholeEngineRunsIdentical) {
   for (std::uint64_t seed : {7ull, 1234ull}) {
     const EngineRun heap = run_engine(SchedKind::heap4, seed);
     const EngineRun cal = run_engine(SchedKind::calendar, seed);
+    const EngineRun wheel = run_engine(SchedKind::wheel, seed);
     EXPECT_GT(heap.executed, 500u) << "workload too small to mean anything";
     EXPECT_GT(heap.dead_pops, 0u) << "cancellation path not exercised";
     EXPECT_EQ(heap, cal) << "seed " << seed;
+    EXPECT_EQ(heap.behavior(), wheel.behavior()) << "seed " << seed;
+    // Zombie accounting: after a full drain every cancelled entry was
+    // either reaped at the front or bulk-purged, never both, never lost.
+    EXPECT_EQ(wheel.dead_pops + wheel.timer_purges, wheel.cancelled)
+        << "seed " << seed;
+    EXPECT_LE(wheel.dead_pops, heap.dead_pops) << "seed " << seed;
+    EXPECT_EQ(heap.timer_purges, 0u);
+    EXPECT_EQ(cal.timer_purges, 0u);
   }
 }
 
-// run_until must leave later events queued identically under both kinds.
+// run_until must leave later events queued identically under all kinds.
 TEST(SchedulerDifferential, RunUntilBoundaryIdentical) {
-  for (SchedKind kind : {SchedKind::heap4, SchedKind::calendar}) {
+  for (SchedKind kind :
+       {SchedKind::heap4, SchedKind::calendar, SchedKind::wheel}) {
     Engine eng(kind);
     std::vector<int> fired;
     for (int i = 0; i < 50; ++i) {
@@ -218,6 +254,110 @@ TEST(SchedulerDifferential, RunUntilBoundaryIdentical) {
     EXPECT_EQ(fired.size(), 25u) << to_string(kind);
     EXPECT_EQ(eng.pending_events(), 25u) << to_string(kind);
     EXPECT_EQ(eng.now(), TimePoint(245)) << to_string(kind);
+  }
+}
+
+// ---- Timer-wheel arm/disarm/re-arm fuzz (ISSUE 10 satellite) ----------
+//
+// The wheel exists for re-armed timers, so fuzz exactly that: a pool of
+// timer slots randomly armed, disarmed, and re-armed between bounded
+// dispatch windows, at delays that straddle several wheel levels. The
+// journal must be byte-identical to the 4-ary heap's, and pending_events()
+// must agree at every window boundary even while the wheel purges
+// tombstones mid-run.
+EngineRun run_rearm_fuzz(SchedKind kind, std::uint64_t seed,
+                         std::vector<std::size_t>* pending_trace) {
+  Engine eng(kind);
+  Rng rng{seed};
+  std::vector<std::pair<std::int64_t, int>> journal;
+  std::vector<EventHandle> timers(64);
+  int next_id = 0;
+
+  for (int round = 0; round < 300; ++round) {
+    for (int m = 0; m < 8; ++m) {
+      const std::size_t slot = rng.below(timers.size());
+      const std::uint64_t action = rng.below(4);
+      // Delays span L0 (64 ns) through L2 (1 s) wheel territory, with a
+      // rare far-future arm to exercise higher levels and cascades.
+      const auto delay = [&]() -> Duration {
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 2) return Duration(1 + rng.below(200'000'000));
+        if (roll < 30) return Duration(1 + rng.below(100'000));
+        return Duration(1 + rng.below(500));
+      };
+      if (action == 0 && timers[slot].valid()) {
+        timers[slot].cancel();  // disarm
+      } else if (action == 1 && timers[slot].valid()) {
+        timers[slot].cancel();  // re-arm
+        const int id = next_id++;
+        auto* jp = &journal;
+        Engine* ep = &eng;
+        timers[slot] = eng.schedule_after(
+            delay(), [jp, ep, id] { jp->emplace_back(ep->now().count(), id); });
+      } else {
+        const int id = next_id++;  // arm (or arm over an expired slot)
+        auto* jp = &journal;
+        Engine* ep = &eng;
+        timers[slot] = eng.schedule_after(
+            delay(), [jp, ep, id] { jp->emplace_back(ep->now().count(), id); });
+      }
+    }
+    eng.run_until(eng.now() + Duration(2'000));
+    if (pending_trace != nullptr) {
+      pending_trace->push_back(eng.pending_events());
+    }
+  }
+  eng.run();
+
+  EngineRun out;
+  out.journal = std::move(journal);
+  out.executed = eng.perf_stats().executed;
+  out.scheduled = eng.perf_stats().scheduled;
+  out.dead_pops = eng.perf_stats().dead_pops;
+  out.timer_purges = eng.perf_stats().timer_purges;
+  out.cancelled = eng.perf_stats().cancelled_before_fire;
+  return out;
+}
+
+TEST(TimerWheel, RearmFuzzIdenticalToHeap) {
+  for (std::uint64_t seed : {3ull, 99ull, 0xabcdull}) {
+    std::vector<std::size_t> heap_pending;
+    std::vector<std::size_t> wheel_pending;
+    const EngineRun heap = run_rearm_fuzz(SchedKind::heap4, seed, &heap_pending);
+    const EngineRun wheel =
+        run_rearm_fuzz(SchedKind::wheel, seed, &wheel_pending);
+    EXPECT_GT(heap.cancelled, 100u) << "disarm path not exercised";
+    EXPECT_EQ(heap.behavior(), wheel.behavior()) << "seed " << seed;
+    EXPECT_EQ(heap_pending, wheel_pending) << "seed " << seed;
+    EXPECT_EQ(wheel.dead_pops + wheel.timer_purges, wheel.cancelled)
+        << "seed " << seed;
+  }
+}
+
+// The one way the wheel's cursor can get ahead of live traffic: a
+// far-future tombstone surfaces at the front (everything else drained),
+// its reap drags the cursor out, and the next push lands *below* the
+// cursor — which must trigger the full rebuild, not a misplaced bucket.
+TEST(TimerWheel, RebuildOnPushBelowCursor) {
+  for (SchedKind kind :
+       {SchedKind::heap4, SchedKind::calendar, SchedKind::wheel}) {
+    Engine eng(kind);
+    std::vector<int> fired;
+    // A far-future timer (L3 territory), cancelled immediately: a zombie.
+    EventHandle far = eng.schedule_at(TimePoint(200'000'000'000),
+                                      [&fired] { fired.push_back(-1); });
+    far.cancel();
+    // Drain: the zombie is reaped (or purged), advancing internal cursors.
+    eng.run();
+    EXPECT_EQ(eng.pending_events(), 0u) << to_string(kind);
+    // New traffic at times far below the reaped zombie's timestamp.
+    for (int i = 0; i < 10; ++i) {
+      eng.schedule_at(eng.now() + Duration(10 + i),
+                      [&fired, i] { fired.push_back(i); });
+    }
+    eng.run();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}))
+        << to_string(kind);
   }
 }
 
